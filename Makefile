@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench experiments examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# full test log, as shipped in test_output.txt
+test-log:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+experiments:
+	dune exec bin/rbgp_cli.exe -- exp all | tee experiments_full.txt
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/ml_allreduce.exe
+	dune exec examples/adversarial_ring.exe
+	dune exec examples/compare_algorithms.exe
+	dune exec examples/capacity_planning.exe
+
+clean:
+	dune clean

@@ -1,0 +1,162 @@
+(* The benchmark harness has two layers:
+
+   1. bechamel micro-benchmarks: one [Test.make] per component that the
+      experiments exercise (smin gradients, couplings, MTS solver steps,
+      offline DPs, slicing/clustering/scheduling steps, whole-algorithm
+      request handling).  These document the per-request cost of every
+      moving part and catch performance regressions.
+
+   2. the experiment tables E1-E10 (the reproduction's stand-in for the
+      paper's evaluation section), regenerated in quick mode so that a
+      single `dune exec bench/main.exe` reproduces every reported table.
+      Run `rbgp exp <id>` (without --quick) for the full-size versions. *)
+
+open Bechamel
+open Toolkit
+
+let rng = Rbgp_util.Rng.create 20230717
+
+(* --- component fixtures -------------------------------------------- *)
+
+let k = 256
+let smin_x = Array.init k (fun i -> float_of_int ((i * 7919) mod 97))
+
+let bench_smin_grad =
+  Test.make ~name:"smin: grad_c k=256"
+    (Staged.stage (fun () -> Rbgp_util.Smin.grad_c ~c:(float_of_int k) smin_x))
+
+let dist_a = Rbgp_util.Dist.of_weights (Array.init k (fun i -> float_of_int (1 + (i mod 7))))
+let dist_b = Rbgp_util.Dist.of_weights (Array.init k (fun i -> float_of_int (1 + ((i + 3) mod 11))))
+
+let bench_coupling =
+  Test.make ~name:"dist: coupled resample k=256"
+    (Staged.stage (fun () ->
+         Rbgp_util.Dist.resample_coupled rng ~current:17 ~old_dist:dist_a
+           ~new_dist:dist_b))
+
+let metric = Rbgp_mts.Metric.Line k
+
+let wfa_solver = Rbgp_mts.Work_function.solver metric ~start:(k / 2) ~rng
+let smin_solver = Rbgp_mts.Smin_mw.solver metric ~start:(k / 2) ~rng:(Rbgp_util.Rng.split rng)
+let hst_solver = Rbgp_mts.Hst_mts.solver metric ~start:(k / 2) ~rng:(Rbgp_util.Rng.split rng)
+
+let mts_bench name solver =
+  let i = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         incr i;
+         Rbgp_mts.Mts.serve solver (Rbgp_mts.Mts.indicator (!i * 31 mod k) ~n:k)))
+
+let bench_wfa = mts_bench "mts: wfa step k=256" wfa_solver
+let bench_smin_mts = mts_bench "mts: smin-mw step k=256" smin_solver
+let bench_hst = mts_bench "mts: hst-mw step k=256" hst_solver
+
+let offline_reqs = Array.init 512 (fun i -> (i * 131) mod k)
+
+let bench_offline_mts =
+  Test.make ~name:"mts: offline DP 512 reqs k=256"
+    (Staged.stage (fun () ->
+         Rbgp_mts.Offline.opt_cost_indicators_free metric offline_reqs))
+
+let inst = Rbgp_ring.Instance.blocks ~n:512 ~ell:8
+let trace512 = Array.init 4096 (fun i -> (i * 73) mod 512)
+
+let bench_static_opt =
+  Test.make ~name:"offline: segmented static OPT n=512"
+    (Staged.stage (fun () -> Rbgp_offline.Static_opt.segmented inst trace512))
+
+let bench_dynamic_lb =
+  Test.make ~name:"offline: dynamic LB n=512 T=4096"
+    (Staged.stage (fun () -> Rbgp_offline.Lower_bound.dynamic_lb inst trace512 ()))
+
+let dyn_alg =
+  Rbgp_core.Dynamic_alg.create ~epsilon:0.5 inst (Rbgp_util.Rng.split rng)
+
+let dyn_online = Rbgp_core.Dynamic_alg.online dyn_alg
+
+let bench_dyn_serve =
+  let i = ref 0 in
+  Test.make ~name:"core: onl-dynamic serve n=512"
+    (Staged.stage (fun () ->
+         incr i;
+         dyn_online.Rbgp_ring.Online.serve (!i * 37 mod 512)))
+
+let st_alg = Rbgp_core.Static_alg.create ~epsilon:0.5 inst (Rbgp_util.Rng.split rng)
+let st_online = Rbgp_core.Static_alg.online st_alg
+
+let bench_static_serve =
+  let i = ref 0 in
+  Test.make ~name:"core: onl-static serve n=512"
+    (Staged.stage (fun () ->
+         incr i;
+         st_online.Rbgp_ring.Online.serve (!i * 37 mod 512)))
+
+let ig = Rbgp_hitting.Interval_growing.create ~k (Rbgp_util.Rng.split rng)
+
+let bench_interval_growing =
+  let i = ref 0 in
+  Test.make ~name:"hitting: interval-growing serve k=256"
+    (Staged.stage (fun () ->
+         incr i;
+         Rbgp_hitting.Interval_growing.serve ig (!i * 97 mod k)))
+
+let tests =
+  Test.make_grouped ~name:"rbgp"
+    [
+      bench_smin_grad;
+      bench_coupling;
+      bench_wfa;
+      bench_smin_mts;
+      bench_hst;
+      bench_offline_mts;
+      bench_static_opt;
+      bench_dynamic_lb;
+      bench_dyn_serve;
+      bench_static_serve;
+      bench_interval_growing;
+    ]
+
+let run_benchmarks () =
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort compare rows in
+  let tbl = Rbgp_util.Tbl.create ~headers:[ "benchmark"; "time/run"; "r2" ] in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> e
+        | _ -> Float.nan
+      in
+      let human t =
+        if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+        else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+        else Printf.sprintf "%.0f ns" t
+      in
+      Rbgp_util.Tbl.add_row tbl
+        [
+          name;
+          human est;
+          (match Analyze.OLS.r_square ols with
+          | Some r -> Printf.sprintf "%.3f" r
+          | None -> "-");
+        ])
+    rows;
+  print_endline "component micro-benchmarks (bechamel, OLS estimates):";
+  Rbgp_util.Tbl.print tbl
+
+let () =
+  run_benchmarks ();
+  print_endline "\nexperiment tables (quick mode; run `rbgp exp <id>` for full size):";
+  List.iter
+    (fun ((id, _desc, _f) :
+           string * string * (?quick:bool -> ?seed:int -> unit -> unit)) ->
+      Rbgp_harness.Report.run ~quick:true ~seed:42 id)
+    Rbgp_harness.Report.all

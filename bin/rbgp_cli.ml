@@ -1,0 +1,180 @@
+(* Command-line driver: run experiments or single simulations.
+
+     rbgp exp e3                 run experiment E3
+     rbgp exp all --quick        quick pass over the whole suite
+     rbgp sim --alg onl-static --workload rotating --n 256 --ell 8
+*)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Enable debug logging of algorithm events.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sizes, for smoke runs.")
+
+(* --- exp ------------------------------------------------------------ *)
+
+let exp_ids = "all" :: List.map (fun (id, _, _) -> id) Rbgp_harness.Report.all
+
+let exp_id_arg =
+  let doc =
+    Printf.sprintf "Experiment id (%s)." (String.concat ", " exp_ids)
+  in
+  Arg.(
+    required
+    & pos 0 (some (enum (List.map (fun i -> (i, i)) exp_ids))) None
+    & info [] ~docv:"EXPERIMENT" ~doc)
+
+let exp_cmd =
+  let run id quick seed verbose =
+    setup_logs verbose;
+    Rbgp_harness.Report.run ~quick ~seed id
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Run one of the E1-E13 experiments (see DESIGN.md).")
+    Term.(const run $ exp_id_arg $ quick_arg $ seed_arg $ verbose_arg)
+
+(* --- sim ------------------------------------------------------------ *)
+
+let alg_names =
+  [ "onl-dynamic"; "onl-static"; "never-move"; "greedy-colocate";
+    "counter-threshold"; "static-oracle" ]
+
+let sim alg workload n ell steps epsilon seed verbose trace_file save_trace show =
+  setup_logs verbose;
+  let inst = Rbgp_ring.Instance.blocks ~n ~ell in
+  let rng = Rbgp_util.Rng.create seed in
+  let trace_t =
+    match trace_file with
+    | Some path ->
+        Rbgp_ring.Trace.fixed (Rbgp_workloads.Trace_io.load ~path ~n)
+    | None ->
+    match workload with
+    | "uniform" -> Rbgp_workloads.Workloads.uniform ~n ~steps rng
+    | "hotspot" -> Rbgp_workloads.Workloads.hotspot ~n ~steps rng
+    | "rotating" -> Rbgp_workloads.Workloads.rotating ~n ~steps rng
+    | "allreduce" -> Rbgp_workloads.Workloads.allreduce ~n ~steps
+    | "zipf" -> Rbgp_workloads.Workloads.zipf ~n ~steps rng
+    | "piecewise" -> Rbgp_workloads.Workloads.piecewise_static ~n ~steps rng
+    | "cut-chaser" -> Rbgp_workloads.Workloads.adversary_cut_chaser ~n
+    | w -> invalid_arg ("unknown workload " ^ w)
+  in
+  let tarr =
+    match trace_t with Rbgp_ring.Trace.Fixed a -> a | _ -> [||]
+  in
+  let steps = min steps (if Array.length tarr > 0 then Array.length tarr else steps) in
+  (match save_trace with
+  | Some path when Array.length tarr > 0 ->
+      Rbgp_workloads.Trace_io.save ~path
+        ~comment:(Printf.sprintf "workload=%s n=%d seed=%d" workload n seed)
+        tarr;
+      Printf.printf "trace saved to %s\n" path
+  | Some _ -> prerr_endline "cannot save an adaptive trace"
+  | None -> ());
+  let online =
+    match alg with
+    | "onl-dynamic" ->
+        Rbgp_core.Dynamic_alg.online
+          (Rbgp_core.Dynamic_alg.create ~epsilon inst (Rbgp_util.Rng.split rng))
+    | "onl-static" ->
+        Rbgp_core.Static_alg.online
+          (Rbgp_core.Static_alg.create ~epsilon inst (Rbgp_util.Rng.split rng))
+    | "never-move" -> Rbgp_baselines.Baselines.never_move inst
+    | "greedy-colocate" -> Rbgp_baselines.Baselines.greedy_colocate inst
+    | "counter-threshold" ->
+        Rbgp_baselines.Baselines.counter_threshold ~epsilon inst
+    | "static-oracle" ->
+        if Array.length tarr = 0 then
+          invalid_arg "static-oracle needs an oblivious workload";
+        Rbgp_baselines.Baselines.static_oracle inst ~trace:tarr
+    | a -> invalid_arg ("unknown algorithm " ^ a)
+  in
+  let r = Rbgp_ring.Simulator.run inst online trace_t ~steps in
+  Printf.printf "%s on %s (n=%d ell=%d k=%d steps=%d seed=%d)\n" alg workload n
+    ell inst.Rbgp_ring.Instance.k steps seed;
+  Printf.printf "  cost: %s\n" (Rbgp_ring.Cost.to_string r.Rbgp_ring.Simulator.cost);
+  Printf.printf "  max load: %d (capacity %d, claimed augmentation %.2f)\n"
+    r.Rbgp_ring.Simulator.max_load inst.Rbgp_ring.Instance.k
+    online.Rbgp_ring.Online.augmentation;
+  if show then begin
+    Printf.printf "  final assignment (server per process, '|' = cut):\n%s"
+      (Rbgp_ring.Render.assignment (online.Rbgp_ring.Online.assignment ()));
+    Printf.printf "  loads: %s\n"
+      (Rbgp_ring.Render.loads (online.Rbgp_ring.Online.assignment ()))
+  end;
+  if Array.length tarr > 0 && n > inst.Rbgp_ring.Instance.k then begin
+    let sopt = Rbgp_offline.Static_opt.segmented inst tarr in
+    let dlb = Rbgp_offline.Lower_bound.dynamic_lb inst tarr () in
+    Printf.printf "  static OPT (segmented): %d   dynamic OPT lower bound: %d\n"
+      sopt.Rbgp_offline.Static_opt.total dlb
+  end
+
+let enum_of l = Arg.enum (List.map (fun x -> (x, x)) l)
+
+let sim_cmd =
+  let alg =
+    Arg.(
+      value
+      & opt (enum_of alg_names) "onl-dynamic"
+      & info [ "alg" ] ~docv:"ALG" ~doc:"Algorithm to run.")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt
+          (enum_of
+             [ "uniform"; "hotspot"; "rotating"; "allreduce"; "zipf";
+               "piecewise"; "cut-chaser" ])
+          "uniform"
+      & info [ "workload" ] ~docv:"W" ~doc:"Workload generator.")
+  in
+  let n = Arg.(value & opt int 256 & info [ "n" ] ~doc:"Number of processes.") in
+  let ell = Arg.(value & opt int 8 & info [ "ell" ] ~doc:"Number of servers.") in
+  let steps = Arg.(value & opt int 20_000 & info [ "steps" ] ~doc:"Requests.") in
+  let epsilon =
+    Arg.(value & opt float 0.5 & info [ "epsilon" ] ~doc:"Augmentation slack.")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-file" ] ~docv:"FILE"
+          ~doc:"Read the request trace from FILE (one edge per line).")
+  in
+  let save_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-trace" ] ~docv:"FILE"
+          ~doc:"Write the generated trace to FILE.")
+  in
+  let show =
+    Arg.(
+      value & flag
+      & info [ "show" ] ~doc:"Render the final assignment as ASCII art.")
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Run a single algorithm on a single workload.")
+    Term.(
+      const sim $ alg $ workload $ n $ ell $ steps $ epsilon $ seed_arg
+      $ verbose_arg $ trace_file $ save_trace $ show)
+
+let main =
+  Cmd.group
+    (Cmd.info "rbgp" ~version:"1.0.0"
+       ~doc:
+         "Online balanced graph partitioning for ring demands (SPAA 2023 \
+          reproduction).")
+    [ exp_cmd; sim_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,58 @@
+(* Quickstart: schedule 256 communicating processes on 8 servers, online.
+
+   This walks through the library's core loop:
+   1. describe the cluster (an [Instance]: n processes, ell servers of
+      capacity k, initial placement in consecutive blocks);
+   2. pick an online algorithm (here the paper's dynamic-model algorithm,
+      Theorem 2.1, with augmentation 2+eps);
+   3. drive it through a request trace with the [Simulator], which charges
+      communication and migration exactly as the model prescribes;
+   4. compare against offline yardsticks.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. the cluster: 256 processes, 8 servers, capacity 32 *)
+  let inst = Rbgp_ring.Instance.blocks ~n:256 ~ell:8 in
+  Format.printf "%a@." Rbgp_ring.Instance.pp inst;
+
+  (* 2. the online algorithm; all randomness comes from an explicit seed *)
+  let rng = Rbgp_util.Rng.create 1 in
+  let alg =
+    Rbgp_core.Dynamic_alg.create ~epsilon:0.5 inst (Rbgp_util.Rng.split rng)
+  in
+
+  (* 3. a workload: a hot communication region drifting around the ring,
+     the regime where online re-partitioning pays off *)
+  let steps = 20_000 in
+  let trace =
+    Rbgp_workloads.Workloads.rotating ~n:256 ~steps (Rbgp_util.Rng.split rng)
+  in
+  let result =
+    Rbgp_ring.Simulator.run inst
+      (Rbgp_core.Dynamic_alg.online alg)
+      trace ~steps
+  in
+  Format.printf "onl-dynamic:  %a  (max load %d, capacity %d)@."
+    Rbgp_ring.Cost.pp result.Rbgp_ring.Simulator.cost
+    result.Rbgp_ring.Simulator.max_load inst.Rbgp_ring.Instance.k;
+
+  (* 4. yardsticks: what would standing still have cost, and what does the
+     best static partition cost in hindsight? *)
+  let tarr =
+    match trace with Rbgp_ring.Trace.Fixed a -> a | _ -> assert false
+  in
+  let never =
+    Rbgp_ring.Simulator.run inst
+      (Rbgp_baselines.Baselines.never_move inst)
+      (Rbgp_ring.Trace.fixed tarr) ~steps
+  in
+  Format.printf "never-move:   %a@." Rbgp_ring.Cost.pp
+    never.Rbgp_ring.Simulator.cost;
+  let static_opt = Rbgp_offline.Static_opt.segmented inst tarr in
+  Format.printf "static OPT:   total=%d (crossing %d + migration %d)@."
+    static_opt.Rbgp_offline.Static_opt.total
+    static_opt.Rbgp_offline.Static_opt.crossing
+    static_opt.Rbgp_offline.Static_opt.migration;
+  let lb = Rbgp_offline.Lower_bound.dynamic_lb inst tarr () in
+  Format.printf "dynamic OPT is at least %d@." lb

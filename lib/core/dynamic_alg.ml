@@ -1,0 +1,109 @@
+module Instance = Rbgp_ring.Instance
+module Assignment = Rbgp_ring.Assignment
+module Segment = Rbgp_ring.Segment
+module Intervals = Rbgp_ring.Intervals
+module Mts = Rbgp_mts.Mts
+module Metric = Rbgp_mts.Metric
+module Rng = Rbgp_util.Rng
+
+type t = {
+  inst : Instance.t;
+  dec : Intervals.t;
+  solvers : Mts.t array;
+  cuts : int array;  (* global cut edge per interval *)
+  assignment : Assignment.t;
+  scratch_servers : int array;
+}
+
+(* The first initial cut edge inside interval i: the MTS start state.
+   Balanced initial loads guarantee one within any k+1 consecutive
+   vertices, and intervals have width >= k'. *)
+let initial_cut_local (inst : Instance.t) dec i =
+  let n = inst.Instance.n in
+  let w = Intervals.width dec i in
+  let rec find local =
+    if local >= w then
+      (* n <= k (single-server-capable ring): no cut edge required; any
+         position works since the whole ring maps to one slice. *)
+      0
+    else
+      let e = Intervals.to_global dec i local in
+      if inst.Instance.initial.(e) <> inst.Instance.initial.((e + 1) mod n)
+      then local
+      else find (local + 1)
+  in
+  find 0
+
+let apply_cuts t =
+  let slices = Intervals.slices_of_cuts t.dec t.cuts in
+  let n = t.inst.Instance.n in
+  let target = t.scratch_servers in
+  Array.iter
+    (fun (server, seg) -> Segment.iter (fun p -> target.(p) <- server) seg)
+    slices;
+  for p = 0 to n - 1 do
+    Assignment.set t.assignment p target.(p)
+  done
+
+let create ?shift ?(mts = Rbgp_mts.Smin_mw.solver) ~epsilon (inst : Instance.t)
+    rng =
+  let n = inst.Instance.n and k = inst.Instance.k in
+  let shift = match shift with Some r -> r | None -> Rng.int rng n in
+  let dec = Intervals.make ~n ~k ~epsilon ~shift in
+  if dec.Intervals.ell' > inst.Instance.ell then
+    invalid_arg
+      (Printf.sprintf
+         "Dynamic_alg.create: %d intervals exceed %d servers (epsilon too \
+          small for this instance?)"
+         dec.Intervals.ell' inst.Instance.ell);
+  let solvers =
+    Array.init dec.Intervals.ell' (fun i ->
+        let metric = Metric.Line (Intervals.width dec i) in
+        let start = initial_cut_local inst dec i in
+        mts metric ~start ~rng:(Rng.split rng))
+  in
+  let cuts =
+    Array.init dec.Intervals.ell' (fun i ->
+        Intervals.to_global dec i (Mts.state solvers.(i)))
+  in
+  let t =
+    {
+      inst;
+      dec;
+      solvers;
+      cuts;
+      assignment = Assignment.create inst;
+      scratch_servers = Array.make n 0;
+    }
+  in
+  apply_cuts t;
+  t
+
+let serve t e =
+  let i, local = Intervals.locate t.dec e in
+  let vector = Mts.indicator local ~n:(Intervals.width t.dec i) in
+  let new_local = Mts.serve t.solvers.(i) vector in
+  let new_cut = Intervals.to_global t.dec i new_local in
+  if new_cut <> t.cuts.(i) then begin
+    t.cuts.(i) <- new_cut;
+    apply_cuts t
+  end
+
+let online t =
+  Rbgp_ring.Online.make ~name:"onl-dynamic"
+    ~augmentation:
+      (float_of_int (Intervals.max_slice_len t.dec)
+      /. float_of_int t.inst.Instance.k)
+    ~assignment:(fun () -> t.assignment)
+    ~serve:(fun e -> serve t e)
+
+let shift t = t.dec.Intervals.shift
+let cut_edges t = Array.copy t.cuts
+
+let interval_hit_cost t =
+  Array.fold_left (fun acc s -> acc +. Mts.hit_cost s) 0.0 t.solvers
+
+let interval_move_cost t =
+  Array.fold_left (fun acc s -> acc +. Mts.move_cost s) 0.0 t.solvers
+
+let decomposition t = t.dec

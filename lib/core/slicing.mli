@@ -1,0 +1,66 @@
+(** The Slicing procedure (Section 4.2, Algorithm 1).
+
+    One growing interval lives around every initial cut edge of the
+    instance, running the hitting-game machinery of Section 4.1 adapted to
+    the ring: inside its interval, each active player keeps its cut edge
+    distributed as [grad smin'(x_I)] of the global request-count vector
+    restricted to the interval, moving through the maximal-stay coupling;
+    when every edge of an interval has been requested at least
+    [(1 - delta_bar) |I|] times the interval doubles (around its center,
+    capped at [k+1] vertices — the ring has no boundary to clamp against).
+
+    Two deactivation rules keep the interval structure sparse:
+    - an interval that becomes [delta_bar]-monochromatic with respect to
+      the *initial* colors right after growing stops and drops its cut
+      edge (the region belongs to one server's processes; no cut needed);
+    - growing interval [I] deactivates every active interval contained in
+      it (dominated), dropping their cut edges — this is what bounds the
+      overlap (Lemma 4.21: every process is in O(log k) intervals).
+
+    The procedure emits the resulting cut-edge events; the Clustering
+    procedure consumes them.  Cut edges of distinct intervals may
+    transiently coincide on the ring — consumers receive the per-interval
+    events and must dedupe (the driver {!Static_alg} maintains multiset
+    counts). *)
+
+type status =
+  | Active
+  | Mono  (** deactivated: became [delta_bar]-monochromatic *)
+  | Dominated  (** deactivated: contained in a grown interval *)
+
+type event =
+  | Cut_moved of { id : int; from_edge : int; to_edge : int; dist : int }
+      (** the cut of interval [id] moved; [dist] is the travelled distance
+          inside the interval (the clustering procedure's moving cost) *)
+  | Cut_removed of { id : int; edge : int; reason : status }
+
+type t
+
+val create :
+  ?delta_bar:float -> Rbgp_ring.Instance.t -> Rbgp_util.Rng.t -> t
+(** Requires [n > k].  [delta_bar] defaults to [14/15]; {!Static_alg}
+    passes [max (2/(2+eps')) (14/15)]. *)
+
+val serve : t -> int -> event list
+(** Process a request; returns the emitted events in order. *)
+
+val initial_cuts : t -> int list
+(** The cut edges at creation (one per initial cut edge of the instance). *)
+
+val active_cuts : t -> (int * int) list
+(** Current [(interval id, cut edge)] pairs of active intervals. *)
+
+val interval_seg : t -> int -> Rbgp_ring.Segment.t
+val interval_status : t -> int -> status
+val interval_rank : t -> int -> int
+(** Growth steps performed by interval [id]. *)
+
+val interval_count : t -> int
+val hit_cost : t -> float
+(** Sum over intervals of hitting costs charged at the current cut
+    (Section 4.5.1's [sum cost_hit(I)]). *)
+
+val move_cost : t -> float
+(** Sum of cut-edge movement distances ([sum cost_move(I)]). *)
+
+val request_count : t -> int -> int

@@ -1,0 +1,91 @@
+module Instance = Rbgp_ring.Instance
+module Simulator = Rbgp_ring.Simulator
+module Rng = Rbgp_util.Rng
+
+type run = {
+  alg : string;
+  cost : Rbgp_ring.Cost.t;
+  max_load : int;
+  violations : int;
+}
+
+let instance ~n ~ell = Instance.blocks ~n ~ell
+
+let run_alg ?(strict = true) inst (alg : Rbgp_ring.Online.t) trace ~steps =
+  let r = Simulator.run ~strict inst alg trace ~steps in
+  {
+    alg = alg.Rbgp_ring.Online.name;
+    cost = r.Simulator.cost;
+    max_load = r.Simulator.max_load;
+    violations = r.Simulator.capacity_violations;
+  }
+
+type alg_spec = {
+  name : string;
+  build : Instance.t -> trace:int array -> seed:int -> Rbgp_ring.Online.t;
+}
+
+let dynamic_with solver name ~epsilon =
+  {
+    name;
+    build =
+      (fun inst ~trace:_ ~seed ->
+        Rbgp_core.Dynamic_alg.online
+          (Rbgp_core.Dynamic_alg.create ~mts:solver ~epsilon inst
+             (Rng.create seed)));
+  }
+
+let core_algorithms ~epsilon =
+  [
+    dynamic_with Rbgp_mts.Smin_mw.solver "onl-dynamic" ~epsilon;
+    {
+      name = "onl-static";
+      build =
+        (fun inst ~trace:_ ~seed ->
+          Rbgp_core.Static_alg.online
+            (Rbgp_core.Static_alg.create ~epsilon inst (Rng.create seed)));
+    };
+  ]
+
+let baseline_algorithms ~epsilon =
+  [
+    {
+      name = "never-move";
+      build = (fun inst ~trace:_ ~seed:_ -> Rbgp_baselines.Baselines.never_move inst);
+    };
+    {
+      name = "greedy-colocate";
+      build =
+        (fun inst ~trace:_ ~seed:_ ->
+          Rbgp_baselines.Baselines.greedy_colocate inst);
+    };
+    {
+      name = "counter-threshold";
+      build =
+        (fun inst ~trace:_ ~seed:_ ->
+          Rbgp_baselines.Baselines.counter_threshold ~epsilon inst);
+    };
+    {
+      name = "static-oracle";
+      build =
+        (fun inst ~trace ~seed:_ -> Rbgp_baselines.Baselines.static_oracle inst ~trace);
+    };
+    {
+      name = "component-learning";
+      build =
+        (fun inst ~trace:_ ~seed:_ ->
+          Rbgp_baselines.Baselines.component_learning inst);
+    };
+  ]
+
+let mts_variants ~epsilon =
+  [
+    dynamic_with Rbgp_mts.Smin_mw.solver "dyn/smin-mw" ~epsilon;
+    dynamic_with Rbgp_mts.Work_function.solver "dyn/wfa" ~epsilon;
+    dynamic_with Rbgp_mts.Hst_mts.solver "dyn/hst-mw" ~epsilon;
+    dynamic_with Rbgp_mts.Marking.solver "dyn/marking" ~epsilon;
+  ]
+
+let averaged ~seeds f =
+  let samples = Array.of_list (List.map f seeds) in
+  (Rbgp_util.Stats.mean samples, Rbgp_util.Stats.stddev samples)

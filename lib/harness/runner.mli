@@ -1,0 +1,44 @@
+(** Shared experiment plumbing: algorithm registry, seeded runs, ratio
+    estimation.
+
+    Every experiment builds instances through {!instance}, algorithms
+    through the registry (fresh algorithm state per run — online algorithms
+    are single-use), and reports ratios against the comparator appropriate
+    to its model (exact OPT, certified lower bound, or static optimum). *)
+
+type run = {
+  alg : string;
+  cost : Rbgp_ring.Cost.t;
+  max_load : int;
+  violations : int;
+}
+
+val instance : n:int -> ell:int -> Rbgp_ring.Instance.t
+(** [blocks] layout; requires [ell] divides [n]. *)
+
+val run_alg :
+  ?strict:bool ->
+  Rbgp_ring.Instance.t ->
+  Rbgp_ring.Online.t ->
+  Rbgp_ring.Trace.t ->
+  steps:int ->
+  run
+
+type alg_spec = {
+  name : string;
+  build : Rbgp_ring.Instance.t -> trace:int array -> seed:int -> Rbgp_ring.Online.t;
+}
+
+val core_algorithms : epsilon:float -> alg_spec list
+(** The paper's two algorithms (dynamic with the default randomized MTS
+    solver, and static). *)
+
+val baseline_algorithms : epsilon:float -> alg_spec list
+(** never-move, greedy-colocate, counter-threshold, static-oracle. *)
+
+val mts_variants : epsilon:float -> alg_spec list
+(** onl-dynamic instantiated with each MTS solver (E9). *)
+
+val averaged :
+  seeds:int list -> (int -> float) -> float * float
+(** Run a seeded measurement for each seed; returns (mean, stddev). *)

@@ -1,0 +1,12 @@
+let chase _step position = position
+
+let hammer ~k ~edge ~steps =
+  if edge < 0 || edge >= k then invalid_arg "Adversary.hammer: edge out of range";
+  Array.make steps edge
+
+let uniform ~k ~steps rng = Array.init steps (fun _ -> Rbgp_util.Rng.int rng k)
+
+let bait_and_switch ~k ~steps =
+  let start = Game.start_edge ~k in
+  let far = if start < k / 2 then k - 1 else 0 in
+  Array.init steps (fun t -> if t < steps / 2 then start else far)

@@ -1,0 +1,26 @@
+(** Request generators for the hitting game.
+
+    [chase] is the lower-bound adversary of Lemma 4.1: it always requests
+    the player's current edge, so a deterministic player pays 1 every step
+    (or pays movement), while after [T >= k^2] steps some edge received at
+    most [T/k] requests and the static optimum is at most [T/k + k] — a
+    ratio of [Omega(k)].  Against a *randomized* player the chase adversary
+    only sees the realized position (adaptive-online adversary); the
+    interval-growing algorithm keeps its conditional hitting probability
+    around [1/|I|] and escapes with polylog cost.
+
+    The oblivious generators build fixed sequences used by E5: a point
+    hammer (all requests on one edge far from the start), a uniform sprayer,
+    and a two-phase bait-and-switch. *)
+
+val chase : int -> int -> int
+(** [chase step position = position]: for {!Game.run_adaptive}. *)
+
+val hammer : k:int -> edge:int -> steps:int -> int array
+(** All requests on a fixed edge. *)
+
+val uniform : k:int -> steps:int -> Rbgp_util.Rng.t -> int array
+
+val bait_and_switch : k:int -> steps:int -> int array
+(** First half hammers the starting edge's neighbourhood, second half jumps
+    to the far end — punishes algorithms that commit too early. *)

@@ -1,0 +1,33 @@
+(** Randomized MTS solver on a dyadic hierarchical decomposition of the line.
+
+    The polylog-competitive randomized MTS algorithms the paper cites
+    (Bartal–Blum–Burch–Tomkins; Fiat–Mendel; Bubeck–Cohen–Lee–Lee) all work
+    by embedding the metric into a hierarchically separated tree (HST) and
+    running a multiplicative-weights / mirror-descent scheme at every
+    internal node.  This module implements that architecture directly for
+    the line:
+
+    - the states [0..s-1] are the leaves of a balanced binary tree of
+      dyadic intervals (an HST whose node diameters halve per level, and
+      which distorts line distances by at most O(log s) in expectation over
+      nothing — deterministically by a factor <= 2 per level crossed);
+    - every internal node [v] maintains multiplicative weights over its two
+      children: the attractiveness of a child is the scaled smooth minimum
+      ({!Rbgp_util.Smin.smin_sub}) of the cumulative cost vector restricted
+      to the child's leaves, with scale proportional to the child's
+      diameter — coarse nodes react slowly (moving across them is
+      expensive), fine nodes react quickly;
+    - the leaf distribution is the product of the per-node child
+      distributions, and the state follows it through the maximal-stay L1
+      coupling, as in {!Smin_mw}.
+
+    This is the "structured" randomized solver of ablation E9; it matches
+    {!Smin_mw} asymptotically on the traces we generate while moving less
+    mass across large distances on multi-modal cost profiles. *)
+
+val solver : Mts.factory
+
+val leaf_distribution : Metric.t -> float array -> Rbgp_util.Dist.t
+(** The product distribution over leaves for a cumulative cost vector;
+    exposed for tests (it must be a probability distribution and must
+    concentrate on the minimizers as costs grow). *)

@@ -1,0 +1,17 @@
+(** Randomized marking algorithm for MTS on the uniform metric.
+
+    The classic phase-based strategy (Borodin–Linial–Saks's randomized
+    variant): within a phase, accumulate each state's cost; when the current
+    state's phase cost reaches the threshold (1.0), jump to a uniformly
+    random state whose phase cost is still below the threshold ("unmarked");
+    when every state is marked, end the phase and reset.  O(log s)-
+    competitive on the uniform metric for 0/1 cost vectors.
+
+    Included for two reasons: it is a correct classical randomized MTS
+    algorithm (tested against the offline optimum), and running it inside
+    the Section-3 reduction (E9) shows what happens when a solver ignores
+    the line geometry — it jumps across the whole interval and pays large
+    migration bursts, which is precisely why the paper needs line-aware
+    machinery. *)
+
+val solver : Mts.factory

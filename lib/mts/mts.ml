@@ -1,0 +1,46 @@
+type t = {
+  name : string;
+  metric : Metric.t;
+  mutable state : int;
+  mutable hit : float;
+  mutable move : float;
+  mutable steps : int;
+  next : float array -> int -> int;
+}
+
+type factory = Metric.t -> start:int -> rng:Rbgp_util.Rng.t -> t
+
+let make ~name ~metric ~start ~next =
+  Metric.check_state metric start;
+  { name; metric; state = start; hit = 0.0; move = 0.0; steps = 0; next }
+
+let name t = t.name
+let metric t = t.metric
+let state t = t.state
+
+let serve t cost_vector =
+  if Array.length cost_vector <> Metric.size t.metric then
+    invalid_arg "Mts.serve: cost vector size mismatch";
+  Array.iter
+    (fun c ->
+      if c < 0.0 || Float.is_nan c then
+        invalid_arg "Mts.serve: cost entries must be non-negative")
+    cost_vector;
+  let s' = t.next cost_vector t.state in
+  Metric.check_state t.metric s';
+  t.move <- t.move +. float_of_int (Metric.distance t.metric t.state s');
+  t.hit <- t.hit +. cost_vector.(s');
+  t.state <- s';
+  t.steps <- t.steps + 1;
+  s'
+
+let hit_cost t = t.hit
+let move_cost t = t.move
+let total_cost t = t.hit +. t.move
+let steps t = t.steps
+
+let indicator e ~n =
+  if e < 0 || e >= n then invalid_arg "Mts.indicator: index out of range";
+  let v = Array.make n 0.0 in
+  v.(e) <- 1.0;
+  v

@@ -1,0 +1,48 @@
+(** Metrical task systems: the online problem the Section-3 reduction
+    targets, and the common interface of its solvers.
+
+    An MTS instance over a metric [(S, d)] starts in state [s0]; each step a
+    cost vector [T] arrives, the solver moves to a state [s'] and pays
+    [d(s, s') + T(s')].  The paper plugs an arbitrary [alpha(k)]-competitive
+    MTS algorithm into each interval; here solvers are first-class values so
+    the composed algorithm can be instantiated with any of
+    {!Work_function}, {!Smin_mw}, {!Hst_mts} or {!Marking}
+    (experiment E9 ablates this choice). *)
+
+type t
+(** A running solver instance with internal cost accounting. *)
+
+type factory = Metric.t -> start:int -> rng:Rbgp_util.Rng.t -> t
+(** Solvers are created per MTS instance.  Deterministic solvers ignore the
+    rng. *)
+
+val make :
+  name:string ->
+  metric:Metric.t ->
+  start:int ->
+  next:(float array -> int -> int) ->
+  t
+(** [make ~name ~metric ~start ~next] wraps a transition function
+    [next cost_vector current_state -> new_state] with state tracking and
+    cost accounting.  Used by the solver modules; exposed for tests that
+    need scripted solvers. *)
+
+val name : t -> string
+val metric : t -> Metric.t
+val state : t -> int
+
+val serve : t -> float array -> int
+(** Feed one cost vector (length = number of states, entries >= 0); returns
+    the new state.  Accumulates [hit] ([T(s')]) and [move] ([d(s, s')])
+    costs. *)
+
+val hit_cost : t -> float
+val move_cost : t -> float
+val total_cost : t -> float
+
+val steps : t -> int
+(** Number of cost vectors served so far. *)
+
+val indicator : int -> n:int -> float array
+(** [indicator e ~n]: the unit cost vector charging 1 at state [e] — the
+    only vector shape the ring reduction generates. *)

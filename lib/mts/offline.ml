@@ -1,0 +1,154 @@
+type schedule = { states : int array; cost : float }
+
+let transform_into metric (src : float array) (dst : float array) =
+  let s = Array.length src in
+  match (metric : Metric.t) with
+  | Metric.Line _ ->
+      Array.blit src 0 dst 0 s;
+      for i = 1 to s - 1 do
+        if dst.(i - 1) +. 1.0 < dst.(i) then dst.(i) <- dst.(i - 1) +. 1.0
+      done;
+      for i = s - 2 downto 0 do
+        if dst.(i + 1) +. 1.0 < dst.(i) then dst.(i) <- dst.(i + 1) +. 1.0
+      done
+  | Metric.Uniform _ ->
+      let m = Array.fold_left Float.min src.(0) src in
+      for i = 0 to s - 1 do
+        dst.(i) <- Float.min src.(i) (m +. 1.0)
+      done
+
+let check_tasks metric tasks =
+  let s = Metric.size metric in
+  Array.iter
+    (fun t ->
+      if Array.length t <> s then
+        invalid_arg "Offline: task vector size mismatch";
+      Array.iter
+        (fun c ->
+          if c < 0.0 || Float.is_nan c then
+            invalid_arg "Offline: negative task cost")
+        t)
+    tasks
+
+(* Forward DP; opt.(x) after step t = min cost serving tasks 0..t ending at
+   x (having already been charged for task t at x). *)
+let run_dp metric ~start tasks =
+  Metric.check_state metric start;
+  check_tasks metric tasks;
+  let s = Metric.size metric in
+  let opt = Array.init s (fun i -> float_of_int (Metric.distance metric start i)) in
+  let buf = Array.make s 0.0 in
+  let history = Array.map (fun _ -> Array.make s 0.0) tasks in
+  Array.iteri
+    (fun t task ->
+      transform_into metric opt buf;
+      for x = 0 to s - 1 do
+        opt.(x) <- buf.(x) +. task.(x)
+      done;
+      Array.blit opt 0 history.(t) 0 s)
+    tasks;
+  (opt, history)
+
+let opt_cost metric ~start tasks =
+  if Array.length tasks = 0 then 0.0
+  else
+    let opt, _ = run_dp metric ~start tasks in
+    Array.fold_left Float.min opt.(0) opt
+
+let opt_schedule metric ~start tasks =
+  let steps = Array.length tasks in
+  if steps = 0 then { states = [||]; cost = 0.0 }
+  else begin
+    let opt, history = run_dp metric ~start tasks in
+    let cost = Array.fold_left Float.min opt.(0) opt in
+    (* Backward reconstruction: choose end state achieving the optimum, then
+       for each step pick a predecessor consistent with the DP values. *)
+    let s = Metric.size metric in
+    let states = Array.make steps 0 in
+    let best_end = ref 0 in
+    for x = 1 to s - 1 do
+      if opt.(x) < opt.(!best_end) then best_end := x
+    done;
+    states.(steps - 1) <- !best_end;
+    for t = steps - 2 downto 0 do
+      let succ = states.(t + 1) in
+      (* history.(t).(x) + d(x, succ) + task_(t+1)(succ) = history.(t+1).(succ) *)
+      let target = history.(t + 1).(succ) -. tasks.(t + 1).(succ) in
+      let found = ref (-1) in
+      for x = 0 to s - 1 do
+        if
+          !found < 0
+          && Float.abs
+               (history.(t).(x)
+               +. float_of_int (Metric.distance metric x succ)
+               -. target)
+             <= 1e-9
+        then found := x
+      done;
+      if !found < 0 then
+        (* numerical safety net: pick the minimizer explicitly *)
+        begin
+          let best = ref 0 in
+          for x = 1 to s - 1 do
+            let v y =
+              history.(t).(y) +. float_of_int (Metric.distance metric y succ)
+            in
+            if v x < v !best then best := x
+          done;
+          found := !best
+        end;
+      states.(t) <- !found
+    done;
+    { states; cost }
+  end
+
+let opt_cost_indicators metric ~start es =
+  Metric.check_state metric start;
+  let s = Metric.size metric in
+  Array.iter (fun e -> Metric.check_state metric e) es;
+  if Array.length es = 0 then 0.0
+  else begin
+    let opt =
+      Array.init s (fun i -> float_of_int (Metric.distance metric start i))
+    in
+    let buf = Array.make s 0.0 in
+    Array.iter
+      (fun e ->
+        transform_into metric opt buf;
+        Array.blit buf 0 opt 0 s;
+        opt.(e) <- opt.(e) +. 1.0)
+      es;
+    Array.fold_left Float.min opt.(0) opt
+  end
+
+let opt_cost_indicators_free metric es =
+  let s = Metric.size metric in
+  Array.iter (fun e -> Metric.check_state metric e) es;
+  if Array.length es = 0 then 0.0
+  else begin
+    let opt = Array.make s 0.0 in
+    let buf = Array.make s 0.0 in
+    Array.iter
+      (fun e ->
+        transform_into metric opt buf;
+        Array.blit buf 0 opt 0 s;
+        opt.(e) <- opt.(e) +. 1.0)
+      es;
+    Array.fold_left Float.min opt.(0) opt
+  end
+
+let static_opt_indicators metric ~start es =
+  Metric.check_state metric start;
+  let s = Metric.size metric in
+  let hits = Array.make s 0 in
+  Array.iter
+    (fun e ->
+      Metric.check_state metric e;
+      hits.(e) <- hits.(e) + 1)
+    es;
+  let best = ref infinity in
+  for p = 0 to s - 1 do
+    let v = float_of_int (Metric.distance metric start p + hits.(p)) in
+    if v < !best then best := v
+  done;
+  !best

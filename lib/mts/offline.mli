@@ -1,0 +1,41 @@
+(** Exact offline optimum for metrical task systems.
+
+    [opt_t(s)] — the cheapest cost of serving the first [t] tasks and ending
+    in state [s] — satisfies
+    [opt_t(s) = min over s' of (opt_(t-1)(s') + d(s', s)) + T_t(s)].
+    The inner minimum is a distance transform: O(s) per step on the line
+    (two sweeps) and on the uniform metric (global min).  Total runtime
+    O(T s); schedule reconstruction via backpointer-free re-derivation.
+
+    This is the comparator of Lemma 3.3 ([OPT_MTS(I)]), the certifier for
+    the per-interval lower bounds on dynamic OPT (Lemma 4.15 analogue used
+    at scale), and the ground truth every online MTS solver is tested
+    against. *)
+
+type schedule = { states : int array; cost : float }
+(** [states.(t)] is the state in which task [t] is served. *)
+
+val opt_cost : Metric.t -> start:int -> float array array -> float
+(** Minimum total cost to serve the given task sequence from [start]
+    (movement may happen before each task; the task is paid at the state
+    occupied when it is served). *)
+
+val opt_schedule : Metric.t -> start:int -> float array array -> schedule
+(** An optimal schedule realizing {!opt_cost}. *)
+
+val opt_cost_indicators : Metric.t -> start:int -> int array -> float
+(** Specialization to indicator tasks (the ring reduction's shape):
+    [opt_cost_indicators m ~start es] equals
+    [opt_cost m ~start (map (indicator ~n) es)] but builds no vectors. *)
+
+val opt_cost_indicators_free : Metric.t -> int array -> float
+(** Like {!opt_cost_indicators} but with a free choice of start state (no
+    initial movement charge) — the comparator shape used for per-interval
+    optima ([OPT_MTS(I)], Lemma 3.3) and for the windowed dynamic lower
+    bound, where the offline schedule already owns a position when the
+    window's accounting begins. *)
+
+val static_opt_indicators : Metric.t -> start:int -> int array -> float
+(** Cheapest *static* strategy: pick one state [p] up front, pay
+    [d(start, p)] plus the number of requests hitting [p].  The comparator
+    of the hitting game (Section 4.1). *)

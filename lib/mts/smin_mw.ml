@@ -1,0 +1,35 @@
+module Dist = Rbgp_util.Dist
+module Smin = Rbgp_util.Smin
+
+let default_scale metric = Float.max 1.0 (float_of_int (Metric.diameter metric))
+
+let make_solver ~c metric ~start ~rng =
+  let s = Metric.size metric in
+  let x = Array.make s 0.0 in
+  let current_dist = ref (Dist.of_grad (Smin.grad_c ~c x)) in
+  let next cost current =
+    for i = 0 to s - 1 do
+      x.(i) <- x.(i) +. cost.(i)
+    done;
+    let new_dist = Dist.of_grad (Smin.grad_c ~c x) in
+    let state =
+      Dist.resample_coupled rng ~current ~old_dist:!current_dist
+        ~new_dist
+    in
+    current_dist := new_dist;
+    state
+  in
+  Mts.make ~name:(Printf.sprintf "smin-mw(c=%g)" c) ~metric ~start ~next
+
+let solver_with_scale ~c : Mts.factory =
+ fun metric ~start ~rng ->
+  if not (c >= 1.0) then invalid_arg "Smin_mw: scale must be >= 1";
+  make_solver ~c metric ~start ~rng
+
+let solver : Mts.factory =
+ fun metric ~start ~rng -> make_solver ~c:(default_scale metric) metric ~start ~rng
+
+let distribution metric x =
+  if Array.length x <> Metric.size metric then
+    invalid_arg "Smin_mw.distribution: size mismatch";
+  Dist.of_grad (Smin.grad_c ~c:(default_scale metric) x)

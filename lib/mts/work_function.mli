@@ -1,0 +1,25 @@
+(** The deterministic work-function algorithm (WFA) for MTS.
+
+    WFA maintains the work function
+    [w_t(s) = min over schedules ending in s of (movement + task costs)]
+    and after each task moves to the state minimizing
+    [w_t(s) + d(s_prev, s)] (ties broken toward staying, then toward the
+    smaller state).  Borodin–Linial–Saks show the related strategy is
+    [(2s - 1)]-competitive on any [s]-state metric, which is optimal for
+    deterministic algorithms.
+
+    On a line metric the update
+    [w'(s) = min over s' of (w(s') + T(s') + |s - s'|)] is computed in O(s)
+    by the two-sweep distance transform; on the uniform metric in O(s) via
+    the global minimum.  This solver is the deterministic reference point of
+    experiment E9 and the comparator the [Omega(k)] separation (E4) is
+    measured against. *)
+
+val solver : Mts.factory
+
+val solver_introspect :
+  Metric.t -> start:int -> Mts.t * (unit -> float array)
+(** Like {!solver} but also returns an accessor for the current
+    work-function vector (fresh copy).  Tests use it to check that the work
+    function stays 1-Lipschitz on the line and lower-bounds the offline
+    optimum. *)

@@ -1,0 +1,114 @@
+module Instance = Rbgp_ring.Instance
+module Cost = Rbgp_ring.Cost
+
+type t = {
+  inst : Instance.t;
+  states : int array array;  (* each state = assignment array of length n *)
+  dist : int array array;  (* pairwise Hamming distances *)
+  initial_dist : int array;  (* distance from the initial assignment *)
+}
+
+let enumerate_states (inst : Instance.t) ?(max_states = 3000) () =
+  let n = inst.Instance.n and ell = inst.Instance.ell and k = inst.Instance.k in
+  let states = ref [] in
+  let count = ref 0 in
+  let a = Array.make n 0 in
+  let loads = Array.make ell 0 in
+  let rec go p =
+    if !count > max_states then ()
+    else if p = n then begin
+      states := Array.copy a :: !states;
+      incr count
+    end
+    else
+      for s = 0 to ell - 1 do
+        if loads.(s) < k then begin
+          a.(p) <- s;
+          loads.(s) <- loads.(s) + 1;
+          go (p + 1);
+          loads.(s) <- loads.(s) - 1
+        end
+      done
+  in
+  go 0;
+  if !count > max_states then
+    invalid_arg
+      (Printf.sprintf
+         "Dynamic_opt.enumerate_states: more than %d balanced configurations"
+         max_states);
+  let states = Array.of_list (List.rev !states) in
+  let m = Array.length states in
+  let hamming a b =
+    let d = ref 0 in
+    for p = 0 to n - 1 do
+      if a.(p) <> b.(p) then incr d
+    done;
+    !d
+  in
+  let dist = Array.make_matrix m m 0 in
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      let d = hamming states.(i) states.(j) in
+      dist.(i).(j) <- d;
+      dist.(j).(i) <- d
+    done
+  done;
+  let initial_dist = Array.map (hamming inst.Instance.initial) states in
+  { inst; states; dist; initial_dist }
+
+let state_count t = Array.length t.states
+
+let run_dp t trace =
+  let n = t.inst.Instance.n in
+  let m = Array.length t.states in
+  let steps = Array.length trace in
+  let cost = Array.map float_of_int t.initial_dist in
+  let parent = Array.make_matrix steps m (-1) in
+  let comm = Array.make m 0.0 in
+  Array.iteri
+    (fun step e ->
+      if e < 0 || e >= n then invalid_arg "Dynamic_opt: edge out of range";
+      for j = 0 to m - 1 do
+        let s = t.states.(j) in
+        comm.(j) <- (if s.(e) <> s.((e + 1) mod n) then 1.0 else 0.0)
+      done;
+      let next = Array.make m infinity in
+      for j = 0 to m - 1 do
+        let best = ref infinity and arg = ref (-1) in
+        for i = 0 to m - 1 do
+          let v = cost.(i) +. float_of_int t.dist.(i).(j) in
+          if v < !best then begin
+            best := v;
+            arg := i
+          end
+        done;
+        next.(j) <- !best +. comm.(j);
+        parent.(step).(j) <- !arg
+      done;
+      Array.blit next 0 cost 0 m)
+    trace;
+  (cost, parent)
+
+let solve_schedule t trace =
+  let steps = Array.length trace in
+  if steps = 0 then ([||], Cost.zero ())
+  else begin
+    let cost, parent = run_dp t trace in
+    let m = Array.length t.states in
+    let best = ref 0 in
+    for j = 1 to m - 1 do
+      if cost.(j) < cost.(!best) then best := j
+    done;
+    let idx = Array.make steps 0 in
+    idx.(steps - 1) <- !best;
+    for step = steps - 2 downto 0 do
+      idx.(step) <- parent.(step + 1).(idx.(step + 1))
+    done;
+    let schedule = Array.map (fun i -> Array.copy t.states.(i)) idx in
+    let c = Rbgp_ring.Simulator.replay_cost t.inst trace ~assignments:schedule in
+    if Cost.total c <> int_of_float cost.(!best) then
+      failwith "Dynamic_opt.solve_schedule: replay disagrees with DP";
+    (schedule, c)
+  end
+
+let solve t trace = snd (solve_schedule t trace)

@@ -1,0 +1,35 @@
+(** Exact *dynamic* offline optimum for tiny ring instances.
+
+    The dynamic comparator of Theorem 2.1 may migrate at every step.  For
+    instances whose balanced-configuration space is small we compute it
+    exactly with a Viterbi-style dynamic program over all assignments with
+    loads at most [k]:
+
+    [cost_t(c) = min over c' of (cost_(t-1)(c') + hamming(c', c)) + comm(c, e_t)]
+
+    (migration before serving, matching {!Rbgp_ring.Simulator.replay_cost}).
+    The state space is every function [n -> ell] with loads at most [k]
+    (no symmetry reduction: the initial assignment breaks server symmetry
+    through migration costs).  Runtime O(T * S^2) with S states; creation
+    refuses instances with more than [max_states] (default 3000).
+
+    This is the certified ground truth for E3/E10 on small instances and the
+    cross-check for {!Lower_bound} (the lower bound must never exceed it). *)
+
+type t
+
+val enumerate_states : Rbgp_ring.Instance.t -> ?max_states:int -> unit -> t
+(** Precomputes the configuration space and pairwise migration distances
+    (shared across traces on the same instance). *)
+
+val state_count : t -> int
+
+val solve : t -> int array -> Rbgp_ring.Cost.t
+(** Exact minimum total cost for the trace; the returned cost splits
+    communication/migration according to one optimal schedule. *)
+
+val solve_schedule : t -> int array -> int array array * Rbgp_ring.Cost.t
+(** Also return the optimal schedule ([schedule.(t)] = assignment serving
+    request [t]), e.g. to replay it through {!Well_behaved} style analyses
+    or {!Rbgp_ring.Simulator.replay_cost} (which must agree on the cost —
+    a test asserts this). *)

@@ -1,0 +1,20 @@
+(** Exact minimum-cost bipartite assignment (Hungarian algorithm).
+
+    Used by the static ring optimum to name segments with servers so that
+    the number of migrated processes is minimized: cost of assigning segment
+    [i] to server [j] is [|segment i| - overlap(i, j)], and a perfect
+    matching minimizing the total is exactly the cheapest naming.
+
+    Implementation: the O(n^3) shortest-augmenting-path formulation with
+    dual potentials (Jonker–Volgenant style).  Costs are floats; rows and
+    columns must form a square matrix (pad rectangular problems with zero
+    rows/columns, as {!Static_opt} does). *)
+
+val solve : float array array -> int array * float
+(** [solve cost] for a square matrix returns [(assignment, total)] where
+    [assignment.(row) = column].  Raises [Invalid_argument] on a non-square
+    or empty matrix. *)
+
+val solve_brute : float array array -> int array * float
+(** Exhaustive permutation search, O(n!).  For cross-checking in tests
+    (n <= 8). *)

@@ -1,0 +1,80 @@
+module Instance = Rbgp_ring.Instance
+
+(* Uniform-metric tracking DP with free start, specialized to one window:
+   opt.(s) = cheapest (hits + switches) for a tracking sequence currently at
+   edge s of the window.  Per request inside the window:
+   opt'(s) = min(opt(s), min_all + 1) + [s = requested]. *)
+let window_dp ~edges requests_iter =
+  let m = edges in
+  let opt = Array.make m 0.0 in
+  requests_iter (fun local_e ->
+      let mn = Array.fold_left Float.min opt.(0) opt in
+      for s = 0 to m - 1 do
+        if mn +. 1.0 < opt.(s) then opt.(s) <- mn +. 1.0
+      done;
+      opt.(local_e) <- opt.(local_e) +. 1.0);
+  Array.fold_left Float.min opt.(0) opt
+
+let lb_for_offset (inst : Instance.t) trace offset =
+  let n = inst.Instance.n and k = inst.Instance.k in
+  let stride = k + 2 in
+  let window_count = if n >= stride then n / stride else if n >= k + 1 then 1 else 0 in
+  if window_count = 0 then 0
+  else begin
+    (* window w covers vertices offset + w*stride .. offset + w*stride + k;
+       its edges are the first k of those (both endpoints inside). *)
+    let window_of_edge = Array.make n (-1) in
+    let local_of_edge = Array.make n 0 in
+    for w = 0 to window_count - 1 do
+      let base = (offset + (w * stride)) mod n in
+      for j = 0 to k - 1 do
+        let e = (base + j) mod n in
+        window_of_edge.(e) <- w;
+        local_of_edge.(e) <- j
+      done
+    done;
+    let total = ref 0.0 in
+    for w = 0 to window_count - 1 do
+      let iter f =
+        Array.iter
+          (fun e -> if window_of_edge.(e) = w then f local_of_edge.(e))
+          trace
+      in
+      total := !total +. window_dp ~edges:k iter
+    done;
+    int_of_float !total
+  end
+
+let dynamic_lb (inst : Instance.t) trace ?offsets () =
+  let k = inst.Instance.k in
+  let offsets =
+    match offsets with
+    | Some l -> l
+    | None -> [ 0; (k + 2) / 3; 2 * (k + 2) / 3 ]
+  in
+  List.fold_left
+    (fun acc off -> Stdlib.max acc (lb_for_offset inst trace off))
+    0 offsets
+
+let interval_opt (inst : Instance.t) trace ~shift ~epsilon =
+  let module Intervals = Rbgp_ring.Intervals in
+  let n = inst.Instance.n and k = inst.Instance.k in
+  let dec = Intervals.make ~n ~k ~epsilon ~shift in
+  (* requests restricted to each interval, in local coordinates — the exact
+     decomposition Dynamic_alg uses, so OPT_R is the true comparator *)
+  let subs = Array.make dec.Intervals.ell' [] in
+  Array.iter
+    (fun e ->
+      let i, local = Intervals.locate dec e in
+      subs.(i) <- local :: subs.(i))
+    trace;
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i sub ->
+      let metric = Rbgp_mts.Metric.Line (Intervals.width dec i) in
+      let sub = Array.of_list (List.rev sub) in
+      total := !total +. Rbgp_mts.Offline.opt_cost_indicators_free metric sub)
+    subs;
+  !total
+
+let static_lb = Static_opt.crossing_lower_bound

@@ -1,0 +1,255 @@
+module Instance = Rbgp_ring.Instance
+
+type solution = {
+  assignment : int array;
+  migration : int;
+  crossing : int;
+  total : int;
+}
+
+let edge_counts (inst : Instance.t) trace =
+  let x = Array.make inst.Instance.n 0 in
+  Array.iter
+    (fun e ->
+      if e < 0 || e >= inst.Instance.n then
+        invalid_arg "Static_opt: trace edge out of range";
+      x.(e) <- x.(e) + 1)
+    trace;
+  x
+
+let cost_of_assignment (inst : Instance.t) trace a =
+  let n = inst.Instance.n in
+  if Array.length a <> n then invalid_arg "Static_opt.cost_of_assignment: bad length";
+  let loads = Array.make inst.Instance.ell 0 in
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= inst.Instance.ell then
+        invalid_arg "Static_opt.cost_of_assignment: server out of range";
+      loads.(s) <- loads.(s) + 1)
+    a;
+  Array.iter
+    (fun load ->
+      if load > inst.Instance.k then
+        invalid_arg "Static_opt.cost_of_assignment: unbalanced assignment")
+    loads;
+  let x = edge_counts inst trace in
+  let migration = ref 0 and crossing = ref 0 in
+  for p = 0 to n - 1 do
+    if a.(p) <> inst.Instance.initial.(p) then incr migration;
+    if a.(p) <> a.((p + 1) mod n) then crossing := !crossing + x.(p)
+  done;
+  {
+    assignment = Array.copy a;
+    migration = !migration;
+    crossing = !crossing;
+    total = !migration + !crossing;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive optimum                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let brute_force (inst : Instance.t) trace =
+  let n = inst.Instance.n and ell = inst.Instance.ell and k = inst.Instance.k in
+  let states = float_of_int ell ** float_of_int n in
+  if states > 1e7 then
+    invalid_arg "Static_opt.brute_force: instance too large";
+  let x = edge_counts inst trace in
+  let a = Array.make n 0 in
+  let loads = Array.make ell 0 in
+  let best = ref max_int and best_a = ref [||] in
+  (* partial cost = migrations so far + crossings of fully assigned edges
+     (edge p-1 once position p is assigned; edge n-1 at the very end) *)
+  let rec go p acc =
+    if acc >= !best then ()
+    else if p = n then begin
+      let closing = if a.(n - 1) <> a.(0) then x.(n - 1) else 0 in
+      if acc + closing < !best then begin
+        best := acc + closing;
+        best_a := Array.copy a
+      end
+    end
+    else
+      for s = 0 to ell - 1 do
+        if loads.(s) < k then begin
+          a.(p) <- s;
+          loads.(s) <- loads.(s) + 1;
+          let mig = if s <> inst.Instance.initial.(p) then 1 else 0 in
+          let cross = if p > 0 && a.(p - 1) <> s then x.(p - 1) else 0 in
+          go (p + 1) (acc + mig + cross);
+          loads.(s) <- loads.(s) - 1
+        end
+      done
+  in
+  go 0 0;
+  if !best_a = [||] then failwith "Static_opt.brute_force: no feasible assignment";
+  cost_of_assignment inst trace !best_a
+
+(* ------------------------------------------------------------------ *)
+(* Cycle DP over cut placements                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Sliding-window minimum over the last [k] values of a DP layer, fed one
+   value at a time.  Classic monotonic deque. *)
+module Window_min = struct
+  type t = {
+    k : int;
+    idx : int array;
+    value : float array;
+    mutable head : int;
+    mutable tail : int;  (* deque is idx/value[head..tail-1] *)
+  }
+
+  let create ~k ~capacity =
+    {
+      k;
+      idx = Array.make capacity 0;
+      value = Array.make capacity 0.0;
+      head = 0;
+      tail = 0;
+    }
+
+  let push t i v =
+    while t.tail > t.head && t.value.(t.tail - 1) >= v do
+      t.tail <- t.tail - 1
+    done;
+    t.idx.(t.tail) <- i;
+    t.value.(t.tail) <- v;
+    t.tail <- t.tail + 1
+
+  (* minimum over values pushed with index in [i - k, i - 1] *)
+  let min_before t i =
+    while t.tail > t.head && t.idx.(t.head) < i - t.k do
+      t.head <- t.head + 1
+    done;
+    if t.tail = t.head then infinity else t.value.(t.head)
+end
+
+let check_splittable (inst : Instance.t) =
+  if inst.Instance.n <= inst.Instance.k then
+    invalid_arg "Static_opt: requires n > k (ring must be split)"
+
+let crossing_lower_bound (inst : Instance.t) trace =
+  check_splittable inst;
+  let n = inst.Instance.n and k = inst.Instance.k in
+  let x = edge_counts inst trace in
+  let best = ref infinity in
+  (* anchor = the first cut among edges 0..k-1; every valid cut set has one *)
+  for c0 = 0 to Stdlib.min (k - 1) (n - 1) do
+    let arr i = float_of_int x.((c0 + i) mod n) in
+    let f = Array.make n infinity in
+    let w = Window_min.create ~k ~capacity:n in
+    f.(0) <- arr 0;
+    Window_min.push w 0 f.(0);
+    for i = 1 to n - 1 do
+      let m = Window_min.min_before w i in
+      f.(i) <- (if Float.is_finite m then m +. arr i else infinity);
+      if Float.is_finite f.(i) then Window_min.push w i f.(i)
+    done;
+    (* wrap gap from last cut back to the anchor must be <= k *)
+    for i = Stdlib.max 1 (n - k) to n - 1 do
+      if f.(i) < !best then best := f.(i)
+    done;
+    (* a single cut is impossible for n > k, so i >= 1 above is safe *)
+  done;
+  int_of_float !best
+
+(* DP with segment count: g.(s).(i) = min crossing with cuts at relabeled
+   positions 0 and i, using s+1 cuts total so far.  Returns the optimal cut
+   set (original edge indices). *)
+let best_cut_set (inst : Instance.t) x =
+  let n = inst.Instance.n and k = inst.Instance.k and ell = inst.Instance.ell in
+  let best = ref infinity and best_cuts = ref None in
+  (* DP layers reused across anchors to avoid re-allocating per anchor *)
+  let g = Array.make_matrix ell n infinity in
+  let parent = Array.make_matrix ell n (-1) in
+  for c0 = 0 to Stdlib.min (k - 1) (n - 1) do
+    let arr i = float_of_int x.((c0 + i) mod n) in
+    for s = 0 to ell - 1 do
+      Array.fill g.(s) 0 n infinity;
+      Array.fill parent.(s) 0 n (-1)
+    done;
+    g.(0).(0) <- arr 0;
+    for s = 1 to ell - 1 do
+      let w = Window_min.create ~k ~capacity:n in
+      (* we also need argmin; store (value, idx) by scanning the deque head *)
+      let push i v = if Float.is_finite v then Window_min.push w i v in
+      push 0 g.(s - 1).(0);
+      for i = 1 to n - 1 do
+        let m = Window_min.min_before w i in
+        if Float.is_finite m then begin
+          g.(s).(i) <- m +. arr i;
+          (* recover the argmin by scanning back over the window: O(k) worst
+             case, but only executed when we later reconstruct; to keep the
+             forward pass O(n) we store the head index of the deque. *)
+          parent.(s).(i) <- w.Window_min.idx.(w.Window_min.head)
+        end;
+        push i g.(s - 1).(i)
+      done
+    done;
+    (* close the cycle: last cut i with n - i <= k; s+1 cuts = s+1 segments *)
+    for s = 0 to ell - 1 do
+      for i = Stdlib.max 1 (n - k) to n - 1 do
+        if g.(s).(i) < !best then begin
+          best := g.(s).(i);
+          (* reconstruct relabeled cut positions *)
+          let cuts = ref [] in
+          let cur = ref i and level = ref s in
+          while !cur >= 0 && !level >= 0 do
+            cuts := ((c0 + !cur) mod n) :: !cuts;
+            let p = if !level = 0 then -1 else parent.(!level).(!cur) in
+            cur := p;
+            decr level
+          done;
+          best_cuts := Some !cuts
+        end
+      done
+    done
+  done;
+  match !best_cuts with
+  | Some cuts -> (List.sort_uniq compare cuts, int_of_float !best)
+  | None -> failwith "Static_opt: no feasible segmented partition"
+
+let segmented_dp (inst : Instance.t) trace =
+  let n = inst.Instance.n and ell = inst.Instance.ell in
+  let x = edge_counts inst trace in
+  let cuts, _crossing = best_cut_set inst x in
+  let cuts = Array.of_list cuts in
+  let m = Array.length cuts in
+  (* segment i = processes (cuts.(i) + 1 .. cuts.(i+1)) cyclically *)
+  let overlap = Array.make_matrix ell ell 0 in
+  let seg_sizes = Array.make ell 0 in
+  for i = 0 to m - 1 do
+    let a = (cuts.(i) + 1) mod n in
+    let b = cuts.((i + 1) mod m) in
+    let seg = Rbgp_ring.Segment.of_endpoints ~n a b in
+    seg_sizes.(i) <- Rbgp_ring.Segment.length seg;
+    Rbgp_ring.Segment.iter
+      (fun p ->
+        let s = inst.Instance.initial.(p) in
+        overlap.(i).(s) <- overlap.(i).(s) + 1)
+      seg
+  done;
+  let cost =
+    Array.init ell (fun i ->
+        Array.init ell (fun s ->
+            if i < m then float_of_int (seg_sizes.(i) - overlap.(i).(s))
+            else 0.0))
+  in
+  let naming, _ = Hungarian.solve cost in
+  let a = Array.make n (-1) in
+  for i = 0 to m - 1 do
+    let start = (cuts.(i) + 1) mod n in
+    let seg = Rbgp_ring.Segment.of_endpoints ~n start cuts.((i + 1) mod m) in
+    Rbgp_ring.Segment.iter (fun p -> a.(p) <- naming.(i)) seg
+  done;
+  cost_of_assignment inst trace a
+
+let segmented (inst : Instance.t) trace =
+  check_splittable inst;
+  let dp = segmented_dp inst trace in
+  (* The DP minimizes crossing cost and only then migration; the initial
+     assignment (zero migration) can beat it when many cut sets tie at the
+     same crossing cost, so consider it as a candidate too. *)
+  let stay = cost_of_assignment inst trace inst.Instance.initial in
+  if stay.total <= dp.total then stay else dp

@@ -1,0 +1,83 @@
+type t = {
+  inst : Instance.t;
+  map : int array;
+  loads : int array;
+}
+
+let of_array (inst : Instance.t) a =
+  if Array.length a <> inst.n then invalid_arg "Assignment.of_array: bad length";
+  let loads = Array.make inst.ell 0 in
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= inst.ell then
+        invalid_arg "Assignment.of_array: server id out of range";
+      loads.(s) <- loads.(s) + 1)
+    a;
+  { inst; map = Array.copy a; loads }
+
+let create (inst : Instance.t) = of_array inst inst.initial
+
+let copy t = { inst = t.inst; map = Array.copy t.map; loads = Array.copy t.loads }
+
+let n t = t.inst.Instance.n
+let server_of t p = t.map.(p)
+
+let set t p s =
+  if s < 0 || s >= t.inst.Instance.ell then
+    invalid_arg "Assignment.set: server id out of range";
+  let old = t.map.(p) in
+  if old <> s then begin
+    t.map.(p) <- s;
+    t.loads.(old) <- t.loads.(old) - 1;
+    t.loads.(s) <- t.loads.(s) + 1
+  end
+
+let load t s = t.loads.(s)
+let loads t = Array.copy t.loads
+
+let max_load t = Array.fold_left Stdlib.max 0 t.loads
+
+let check_capacity t ~augmentation =
+  let bound = (augmentation *. float_of_int t.inst.Instance.k) +. 1e-9 in
+  Array.for_all (fun load -> float_of_int load <= bound) t.loads
+
+let cuts_edge t e =
+  let n = t.inst.Instance.n in
+  t.map.(e) <> t.map.((e + 1) mod n)
+
+let cut_edges t =
+  let acc = ref [] in
+  for e = n t - 1 downto 0 do
+    if cuts_edge t e then acc := e :: !acc
+  done;
+  !acc
+
+let hamming a b =
+  if n a <> n b then invalid_arg "Assignment.hamming: size mismatch";
+  let d = ref 0 in
+  for p = 0 to n a - 1 do
+    if a.map.(p) <> b.map.(p) then incr d
+  done;
+  !d
+
+let diff_into target scratch =
+  if n target <> n scratch then invalid_arg "Assignment.diff_into: size mismatch";
+  let d = ref 0 in
+  for p = 0 to n target - 1 do
+    if scratch.map.(p) <> target.map.(p) then begin
+      incr d;
+      let old = scratch.map.(p) in
+      scratch.map.(p) <- target.map.(p);
+      scratch.loads.(old) <- scratch.loads.(old) - 1;
+      scratch.loads.(target.map.(p)) <- scratch.loads.(target.map.(p)) + 1
+    end
+  done;
+  !d
+
+let to_array t = Array.copy t.map
+let instance t = t.inst
+
+let pp fmt t =
+  Format.fprintf fmt "assignment loads=[%s] cuts=%d"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.loads)))
+    (List.length (cut_edges t))

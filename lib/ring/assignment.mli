@@ -1,0 +1,51 @@
+(** Mutable process-to-server assignments and their cost geometry.
+
+    An assignment maps each process [0 .. n-1] to a server id.  The model
+    charges one unit per process migration, so the distance between two
+    assignments is the Hamming distance; a request on edge [(i, i+1)] costs
+    one unit of communication iff the endpoints map to different servers.
+
+    Load validation is parameterized by the resource-augmentation factor:
+    online algorithms may use [alpha * k] capacity while offline comparators
+    must respect [k] strictly. *)
+
+type t
+
+val create : Instance.t -> t
+(** Initialized to the instance's initial assignment. *)
+
+val of_array : Instance.t -> int array -> t
+(** Copies the given map; validates server ids are in range (loads are not
+    validated here — use {!max_load} / {!check_capacity}). *)
+
+val copy : t -> t
+val n : t -> int
+val server_of : t -> int -> int
+val set : t -> int -> int -> unit
+(** [set t p s] migrates process [p] to server [s], updating loads. *)
+
+val load : t -> int -> int
+val loads : t -> int array
+val max_load : t -> int
+
+val check_capacity : t -> augmentation:float -> bool
+(** Every load at most [augmentation * k] (integer floor comparison is
+    deliberately avoided: the bound is [load <= augmentation * k + 1e-9]). *)
+
+val cuts_edge : t -> int -> bool
+(** Does edge [(e, e+1 mod n)] cross servers? *)
+
+val cut_edges : t -> int list
+
+val hamming : t -> t -> int
+(** Number of processes assigned differently — the migration cost of moving
+    from one assignment to the other. *)
+
+val diff_into : t -> t -> int
+(** [diff_into target scratch] copies [target] into [scratch] and returns
+    their Hamming distance — used by the simulator to charge migrations with
+    one pass and no allocation. *)
+
+val to_array : t -> int array
+val instance : t -> Instance.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+type t = {
+  name : string;
+  augmentation : float;
+  assignment : unit -> Assignment.t;
+  serve : int -> unit;
+}
+
+let make ~name ~augmentation ~assignment ~serve =
+  { name; augmentation; assignment; serve }

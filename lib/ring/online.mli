@@ -1,0 +1,30 @@
+(** The interface every online algorithm in this repository implements.
+
+    An algorithm owns a mutable {!Assignment.t}; the {!Simulator} charges
+    communication by inspecting the assignment *before* calling [serve] and
+    charges migration by diffing it afterwards, per the model of Section 2
+    (serve-then-optionally-migrate).  Algorithms must therefore perform all
+    reactions to a request inside [serve] and must never hand out their
+    assignment for mutation.
+
+    [augmentation] is the capacity factor the algorithm claims
+    (e.g. [2 + eps] for the dynamic-model algorithm, [3 + eps] for the
+    static-model one, [1.0] for offline-feasible baselines); the simulator
+    verifies it after every request. *)
+
+type t = {
+  name : string;
+  augmentation : float;
+  assignment : unit -> Assignment.t;
+      (** Current assignment.  Callers must treat it as read-only. *)
+  serve : int -> unit;
+      (** React to a request on ring edge [(e, e+1 mod n)]: optionally
+          migrate processes. *)
+}
+
+val make :
+  name:string ->
+  augmentation:float ->
+  assignment:(unit -> Assignment.t) ->
+  serve:(int -> unit) ->
+  t

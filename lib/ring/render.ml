@@ -1,0 +1,34 @@
+let digit s =
+  if s < 10 then Char.chr (Char.code '0' + s)
+  else if s < 36 then Char.chr (Char.code 'a' + s - 10)
+  else '?'
+
+let assignment ?(width = 64) a =
+  if width < 1 then invalid_arg "Render.assignment: width >= 1";
+  let n = Assignment.n a in
+  let buf = Buffer.create (4 * n) in
+  let rows = (n + width - 1) / width in
+  for row = 0 to rows - 1 do
+    let lo = row * width in
+    let hi = Stdlib.min (n - 1) (lo + width - 1) in
+    Buffer.add_string buf (Printf.sprintf "%6d  " lo);
+    for p = lo to hi do
+      Buffer.add_char buf (digit (Assignment.server_of a p));
+      (* mark the cut edge between p and p+1 *)
+      if p < hi && Assignment.cuts_edge a p then Buffer.add_char buf '|'
+      else if p < hi then Buffer.add_char buf ' '
+    done;
+    (* a cut at the row boundary (or the ring wrap on the last row) *)
+    if Assignment.cuts_edge a hi then Buffer.add_char buf '|';
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let loads a =
+  let buf = Buffer.create 128 in
+  Array.iteri
+    (fun s load ->
+      if s > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (Printf.sprintf "%d:%s" s (String.make load '#')))
+    (Assignment.loads a);
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** ASCII rendering of ring states, for debugging and the CLI.
+
+    An assignment is drawn as one character per process (the server id in
+    base-36), wrapped to fixed-width rows with position ruler lines and
+    ['|'] markers at cut edges — enough to see at a glance where the
+    slices are and how balanced they look. *)
+
+val assignment : ?width:int -> Assignment.t -> string
+(** Multi-line rendering, [width] processes per row (default 64). *)
+
+val loads : Assignment.t -> string
+(** One-line bar chart of the per-server loads, e.g.
+    ["0:################ 1:############"]. *)

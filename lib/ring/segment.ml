@@ -1,0 +1,85 @@
+type t = { start : int; len : int; n : int }
+
+let norm n x =
+  let r = x mod n in
+  if r < 0 then r + n else r
+
+let make ~n ~start ~len =
+  if n <= 0 then invalid_arg "Segment.make: n must be positive";
+  if len <= 0 || len > n then invalid_arg "Segment.make: len out of (0, n]";
+  { start = norm n start; len; n }
+
+let cw_distance ~n a b = norm n (b - a)
+
+let of_endpoints ~n a b = make ~n ~start:a ~len:(cw_distance ~n a b + 1)
+
+let whole ~n = make ~n ~start:0 ~len:n
+let length t = t.len
+let first t = t.start
+let last t = norm t.n (t.start + t.len - 1)
+
+let mem t p =
+  let off = cw_distance ~n:t.n t.start (norm t.n p) in
+  off < t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (norm t.n (t.start + i))
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    acc := norm t.n (t.start + i) :: !acc
+  done;
+  !acc
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun p -> acc := f !acc p) t;
+  !acc
+
+let subset inner outer =
+  if inner.n <> outer.n then invalid_arg "Segment.subset: different rings";
+  if outer.len >= outer.n then true
+  else if inner.len > outer.len then false
+  else
+    let off = cw_distance ~n:inner.n outer.start inner.start in
+    off + inner.len <= outer.len
+
+let inter_size a b =
+  if a.n <> b.n then invalid_arg "Segment.inter_size: different rings";
+  let n = a.n in
+  if a.len >= n then b.len
+  else if b.len >= n then a.len
+  else begin
+    (* offset of b's start relative to a's start; intersection of [0,a.len)
+       with [off, off+b.len) on Z_n can wrap at most once. *)
+    let off = cw_distance ~n a.start b.start in
+    let overlap lo1 hi1 lo2 hi2 =
+      let lo = Stdlib.max lo1 lo2 and hi = Stdlib.min hi1 hi2 in
+      Stdlib.max 0 (hi - lo)
+    in
+    let part1 = overlap 0 a.len off (off + b.len) in
+    let part2 = overlap 0 a.len (off - n) (off - n + b.len) in
+    part1 + part2
+  end
+
+let ring_distance ~n a b =
+  let d = cw_distance ~n a b in
+  Stdlib.min d (n - d)
+
+let edges_inside t =
+  if t.len >= t.n then List.init t.n (fun i -> i)
+  else begin
+    let acc = ref [] in
+    for i = t.len - 2 downto 0 do
+      acc := norm t.n (t.start + i) :: !acc
+    done;
+    !acc
+  end
+
+let equal a b = a.n = b.n && a.len = b.len && (a.len = a.n || a.start = b.start)
+
+let pp fmt t =
+  Format.fprintf fmt "[%d..%d]/%d (len %d)" t.start (last t) t.n t.len

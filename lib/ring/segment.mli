@@ -1,0 +1,51 @@
+(** Cyclic segments (sets of consecutive processes) on the ring [Z_n].
+
+    A segment [S = \[a, b\]] is the set [{a, a+1, ..., b}] with arithmetic
+    modulo [n]; it is represented by its start and length, which avoids the
+    wrap-around ambiguity of endpoint pairs.  Segments of length [n] (the
+    whole ring) are allowed; empty segments are not representable (use
+    [option] at call sites).
+
+    The paper identifies the edge [(i, i+1)] with index [i]; a segment
+    [\[a, b\]] "between cut edges [(a-1, a)] and [(b, b+1)]" contains
+    processes [a..b]. *)
+
+type t = private { start : int; len : int; n : int }
+
+val make : n:int -> start:int -> len:int -> t
+(** Requires [0 < len <= n]; [start] is normalized into [\[0, n)]. *)
+
+val of_endpoints : n:int -> int -> int -> t
+(** [of_endpoints ~n a b] is the clockwise segment from [a] to [b]
+    inclusive.  [a = b] gives a singleton; [(b - a) mod n = n - 1] gives the
+    whole ring minus nothing... i.e. length [n]. *)
+
+val whole : n:int -> t
+val length : t -> int
+val first : t -> int
+val last : t -> int
+val mem : t -> int -> bool
+val to_list : t -> int list
+val iter : (int -> unit) -> t -> unit
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val subset : t -> t -> bool
+(** [subset inner outer]: is every process of [inner] in [outer]? *)
+
+val inter_size : t -> t -> int
+(** Number of processes in both segments (segments on the same ring). *)
+
+val cw_distance : n:int -> int -> int -> int
+(** [cw_distance ~n a b] is the clockwise distance from [a] to [b], in
+    [\[0, n)]. *)
+
+val ring_distance : n:int -> int -> int -> int
+(** Shortest cyclic distance between two positions, in [\[0, n/2\]]. *)
+
+val edges_inside : t -> int list
+(** Edge indices [(i, i+1)] with both endpoints in the segment, i.e.
+    [first t .. last t - 1] cyclically ([len - 1] edges; for the whole ring,
+    all [n] edges). *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

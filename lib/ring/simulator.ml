@@ -1,0 +1,70 @@
+type result = {
+  cost : Cost.t;
+  steps : int;
+  max_load : int;
+  capacity_violations : int;
+  per_step : (int * int) array option;
+}
+
+let run ?(strict = true) ?(record_steps = false) ?on_step (inst : Instance.t)
+    (alg : Online.t) trace ~steps =
+  if steps < 0 then invalid_arg "Simulator.run: negative steps";
+  Trace.validate ~n:inst.Instance.n trace ~steps;
+  let cost = Cost.zero () in
+  let shadow = Assignment.copy (alg.Online.assignment ()) in
+  let max_load = ref (Assignment.max_load shadow) in
+  let violations = ref 0 in
+  let series = if record_steps then Array.make steps (0, 0) else [||] in
+  for t = 0 to steps - 1 do
+    let current = alg.Online.assignment () in
+    let e = Trace.next trace t current in
+    if e < 0 || e >= inst.Instance.n then
+      invalid_arg "Simulator.run: trace produced edge out of range";
+    if Assignment.cuts_edge current e then cost.Cost.comm <- cost.Cost.comm + 1;
+    alg.Online.serve e;
+    let after = alg.Online.assignment () in
+    let moved = Assignment.diff_into after shadow in
+    cost.Cost.mig <- cost.Cost.mig + moved;
+    let load = Assignment.max_load after in
+    if load > !max_load then max_load := load;
+    if not (Assignment.check_capacity after ~augmentation:alg.Online.augmentation)
+    then begin
+      incr violations;
+      if strict then
+        failwith
+          (Printf.sprintf
+             "Simulator.run: %s violated capacity at step %d (max load %d, \
+              claimed augmentation %.3f, k=%d)"
+             alg.Online.name t load alg.Online.augmentation inst.Instance.k)
+    end;
+    if record_steps then series.(t) <- (cost.Cost.comm, cost.Cost.mig);
+    match on_step with None -> () | Some f -> f t cost
+  done;
+  {
+    cost;
+    steps;
+    max_load = !max_load;
+    capacity_violations = !violations;
+    per_step = (if record_steps then Some series else None);
+  }
+
+let replay_cost (inst : Instance.t) trace ~assignments =
+  let steps = Array.length trace in
+  if Array.length assignments <> steps then
+    invalid_arg "Simulator.replay_cost: schedule length mismatch";
+  let cost = Cost.zero () in
+  let n = inst.Instance.n in
+  let prev = ref inst.Instance.initial in
+  for t = 0 to steps - 1 do
+    let a = assignments.(t) in
+    if Array.length a <> n then
+      invalid_arg "Simulator.replay_cost: assignment length mismatch";
+    (* migrations charged when moving into the configuration serving step t *)
+    for p = 0 to n - 1 do
+      if a.(p) <> !prev.(p) then cost.Cost.mig <- cost.Cost.mig + 1
+    done;
+    let e = trace.(t) in
+    if a.(e) <> a.((e + 1) mod n) then cost.Cost.comm <- cost.Cost.comm + 1;
+    prev := a
+  done;
+  cost

@@ -1,0 +1,49 @@
+(** Drives an online algorithm over a request trace and charges costs.
+
+    The simulator owns the cost accounting so that every algorithm —
+    including baselines and, in tests, deliberately buggy ones — is billed by
+    the same rules:
+
+    + a request on edge [(e, e+1)] costs 1 of communication iff the
+      endpoints are currently on different servers (checked {e before} the
+      algorithm reacts);
+    + after the algorithm's [serve] returns, the Hamming distance between
+      the previous and new assignment is charged as migration;
+    + the new assignment must satisfy the algorithm's claimed
+      resource-augmentation bound (violations are counted; [run] raises by
+      default, or records them when [strict:false] for diagnostic runs).
+
+    The per-step hook receives cumulative costs and supports time-series
+    experiments (cost curves, crossover plots) without a second run. *)
+
+type result = {
+  cost : Cost.t;
+  steps : int;
+  max_load : int;  (** maximum server load ever observed after a reaction *)
+  capacity_violations : int;
+  per_step : (int * int) array option;
+      (** cumulative (comm, mig) after each step when requested *)
+}
+
+val run :
+  ?strict:bool ->
+  ?record_steps:bool ->
+  ?on_step:(int -> Cost.t -> unit) ->
+  Instance.t ->
+  Online.t ->
+  Trace.t ->
+  steps:int ->
+  result
+(** [run inst alg trace ~steps] simulates [steps] requests.
+    @param strict raise [Failure] on a capacity violation (default [true])
+    @param record_steps keep the cumulative cost series (default [false])
+    @param on_step called after each step with the step index and cumulative
+    cost *)
+
+val replay_cost : Instance.t -> int array -> assignments:int array array -> Cost.t
+(** [replay_cost inst trace ~assignments] computes the cost of an arbitrary
+    (offline) schedule: [assignments.(t)] is the assignment used when request
+    [trace.(t)] arrives (communication billed against it), and migrations
+    are billed between consecutive assignments, including the initial move
+    from [inst.initial] to [assignments.(0)].  Used to price offline optima
+    and hand-crafted schedules in tests. *)

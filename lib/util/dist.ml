@@ -1,0 +1,126 @@
+type t = float array
+
+let of_weights w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Dist.of_weights: empty";
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    if w.(i) < 0.0 || Float.is_nan w.(i) then
+      invalid_arg "Dist.of_weights: negative or NaN weight";
+    total := !total +. w.(i)
+  done;
+  if not (!total > 0.0) then invalid_arg "Dist.of_weights: zero total mass";
+  Array.map (fun v -> v /. !total) w
+
+let of_grad g =
+  let n = Array.length g in
+  if n = 0 then invalid_arg "Dist.of_grad: empty";
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    if g.(i) < 0.0 || Float.is_nan g.(i) then
+      invalid_arg "Dist.of_grad: negative or NaN entry";
+    total := !total +. g.(i)
+  done;
+  if Float.abs (!total -. 1.0) > 1e-6 then
+    invalid_arg "Dist.of_grad: not normalized";
+  Array.map (fun v -> v /. !total) g
+
+let uniform n =
+  if n <= 0 then invalid_arg "Dist.uniform: n must be positive";
+  Array.make n (1.0 /. float_of_int n)
+
+let point i ~n =
+  if i < 0 || i >= n then invalid_arg "Dist.point: index out of range";
+  let a = Array.make n 0.0 in
+  a.(i) <- 1.0;
+  a
+
+let size = Array.length
+let prob (t : t) i = t.(i)
+
+let support (t : t) =
+  let acc = ref [] in
+  for i = Array.length t - 1 downto 0 do
+    if t.(i) > 0.0 then acc := i :: !acc
+  done;
+  !acc
+
+let sample rng (t : t) =
+  let u = Rng.float rng in
+  let n = Array.length t in
+  let rec go i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. t.(i) in
+      if u < acc then i else go (i + 1) acc
+  in
+  go 0 0.0
+
+(* Sample from the normalized positive part of (new - old).  Total positive
+   mass equals TV distance; if it is numerically zero fall back to sampling
+   new_dist directly. *)
+let sample_excess rng (old_dist : t) (new_dist : t) =
+  let n = Array.length new_dist in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = new_dist.(i) -. old_dist.(i) in
+    if d > 0.0 then total := !total +. d
+  done;
+  if not (!total > 0.0) then sample rng new_dist
+  else begin
+    let u = Rng.float rng *. !total in
+    let rec go i acc =
+      if i >= n - 1 then n - 1
+      else
+        let d = new_dist.(i) -. old_dist.(i) in
+        let acc = if d > 0.0 then acc +. d else acc in
+        if u < acc then i else go (i + 1) acc
+    in
+    go 0 0.0
+  end
+
+let resample_coupled rng ~current ~old_dist ~new_dist =
+  let po = prob old_dist current and pn = prob new_dist current in
+  if Array.length (old_dist : t :> float array)
+     <> Array.length (new_dist : t :> float array)
+  then invalid_arg "Dist.resample_coupled: size mismatch";
+  if po <= 0.0 then
+    (* current was not actually in old support: just sample fresh *)
+    sample rng new_dist
+  else
+    let stay = Float.min 1.0 (pn /. po) in
+    if Rng.float rng < stay then current
+    else sample_excess rng old_dist new_dist
+
+let l1_distance (a : t) (b : t) =
+  if Array.length a <> Array.length b then
+    invalid_arg "Dist.l1_distance: size mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. Float.abs (a.(i) -. b.(i))
+  done;
+  !acc
+
+let tv_distance a b = 0.5 *. l1_distance a b
+
+let earthmover_line (a : t) (b : t) =
+  if Array.length a <> Array.length b then
+    invalid_arg "Dist.earthmover_line: size mismatch";
+  (* W1 on the line = sum over cut points of |F_a(i) - F_b(i)| *)
+  let acc = ref 0.0 in
+  let fa = ref 0.0 and fb = ref 0.0 in
+  for i = 0 to Array.length a - 2 do
+    fa := !fa +. a.(i);
+    fb := !fb +. b.(i);
+    acc := !acc +. Float.abs (!fa -. !fb)
+  done;
+  !acc
+
+let expectation (t : t) f =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length t - 1 do
+    if t.(i) > 0.0 then acc := !acc +. (t.(i) *. f i)
+  done;
+  !acc
+
+let to_array (t : t) = Array.copy t

@@ -1,0 +1,87 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : string list;
+  ncols : int;
+  mutable rows : row list; (* reversed *)
+  mutable aligns : align array option;
+}
+
+let create ~headers =
+  if headers = [] then invalid_arg "Tbl.create: no headers";
+  { headers; ncols = List.length headers; rows = []; aligns = None }
+
+let is_numeric s =
+  match float_of_string_opt (String.trim s) with Some _ -> true | None -> false
+
+let add_row t cells =
+  if List.length cells <> t.ncols then
+    invalid_arg "Tbl.add_row: wrong number of cells";
+  (match t.aligns with
+  | Some _ -> ()
+  | None ->
+      t.aligns <-
+        Some (Array.of_list (List.map (fun c -> if is_numeric c then Right else Left) cells)));
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let aligns =
+    match t.aligns with Some a -> a | None -> Array.make t.ncols Left
+  in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  List.iter
+    (function
+      | Rule -> ()
+      | Cells cs ->
+          List.iteri
+            (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+            cs)
+    rows;
+  let buf = Buffer.create 1024 in
+  let sep ch =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) ch);
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line align_per_col cs =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        let a = if align_per_col then aligns.(i) else Left in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad a widths.(i) c);
+        Buffer.add_string buf " |")
+      cs;
+    Buffer.add_char buf '\n'
+  in
+  sep '-';
+  line false t.headers;
+  sep '=';
+  List.iter (function Rule -> sep '-' | Cells cs -> line true cs) rows;
+  sep '-';
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_f v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.3f" v
+
+let cell_i = string_of_int

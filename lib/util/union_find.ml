@@ -1,0 +1,41 @@
+type t = {
+  parent : int array;
+  size : int array;
+  mutable components : int;
+}
+
+let create n =
+  if n <= 0 then invalid_arg "Union_find.create: n must be positive";
+  { parent = Array.init n (fun i -> i); size = Array.make n 1; components = n }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else begin
+    let small, big = if t.size.(ra) < t.size.(rb) then (ra, rb) else (rb, ra) in
+    t.parent.(small) <- big;
+    t.size.(big) <- t.size.(big) + t.size.(small);
+    t.components <- t.components - 1;
+    big
+  end
+
+let same t a b = find t a = find t b
+let size t x = t.size.(find t x)
+let components t = t.components
+
+let members t x =
+  let root = find t x in
+  let acc = ref [] in
+  for i = Array.length t.parent - 1 downto 0 do
+    if find t i = root then acc := i :: !acc
+  done;
+  !acc

@@ -1,0 +1,28 @@
+(** Disjoint-set forests with union by size and path compression.
+
+    Substrate for the learning-variant baseline (Henzinger et al.'s model
+    tracks connected components of the demand graph) and for any
+    connectivity bookkeeping over processes.  Amortized near-constant time
+    per operation. *)
+
+type t
+
+val create : int -> t
+(** [create n]: n singleton sets over elements [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative; compresses paths. *)
+
+val union : t -> int -> int -> int
+(** Merge the two sets; returns the surviving representative.  No-op (but
+    still returns the representative) if already joined. *)
+
+val same : t -> int -> int -> bool
+val size : t -> int -> int
+(** Size of the set containing the element. *)
+
+val components : t -> int
+(** Current number of disjoint sets. *)
+
+val members : t -> int -> int list
+(** All elements of the set containing the given element (O(n) scan). *)

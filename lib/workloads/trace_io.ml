@@ -1,0 +1,36 @@
+let save ~path ?comment trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      (match comment with
+      | Some c -> Printf.fprintf oc "# %s\n" c
+      | None -> ());
+      Printf.fprintf oc "# %d requests\n" (Array.length trace);
+      Array.iter (fun e -> Printf.fprintf oc "%d\n" e) trace)
+
+let load ~path ~n =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let acc = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           incr lineno;
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '#' then
+             match int_of_string_opt line with
+             | Some e when e >= 0 && e < n -> acc := e :: !acc
+             | Some _ ->
+                 invalid_arg
+                   (Printf.sprintf "Trace_io.load: line %d: edge out of [0, %d)"
+                      !lineno n)
+             | None ->
+                 invalid_arg
+                   (Printf.sprintf "Trace_io.load: line %d: not an integer"
+                      !lineno)
+         done
+       with End_of_file -> ());
+      Array.of_list (List.rev !acc))

@@ -1,0 +1,13 @@
+(** Plain-text trace files: one edge index per line.
+
+    Lets real traces (or traces produced by one tool) drive any algorithm
+    in this repository, and lets generated traces be exported for external
+    analysis.  Lines starting with ['#'] and blank lines are ignored on
+    input; [save] writes a provenance header comment. *)
+
+val save : path:string -> ?comment:string -> int array -> unit
+
+val load : path:string -> n:int -> int array
+(** Validates every entry against the ring size [n]; raises
+    [Invalid_argument] with the offending line number otherwise, and
+    [Sys_error] on I/O failure. *)

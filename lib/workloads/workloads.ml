@@ -1,0 +1,104 @@
+module Rng = Rbgp_util.Rng
+module Trace = Rbgp_ring.Trace
+
+let check ~n ~steps =
+  if n <= 1 then invalid_arg "Workloads: n must be > 1";
+  if steps < 0 then invalid_arg "Workloads: negative steps"
+
+let uniform ~n ~steps rng =
+  check ~n ~steps;
+  Trace.fixed (Array.init steps (fun _ -> Rng.int rng n))
+
+let hot_window ~n ~arc ~heat rng center =
+  if Rng.float rng < heat then (center + Rng.int rng arc) mod n
+  else Rng.int rng n
+
+let hotspot ~n ~steps ?arc ?(heat = 0.9) rng =
+  check ~n ~steps;
+  let arc = match arc with Some a -> a | None -> Stdlib.max 1 (n / 16) in
+  let center = Rng.int rng n in
+  Trace.fixed (Array.init steps (fun _ -> hot_window ~n ~arc ~heat rng center))
+
+let rotating ~n ~steps ?arc ?(heat = 0.9) ?period rng =
+  check ~n ~steps;
+  let arc = match arc with Some a -> a | None -> Stdlib.max 1 (n / 16) in
+  let period =
+    match period with Some p -> p | None -> Stdlib.max 1 (steps / n)
+  in
+  if period < 1 then invalid_arg "Workloads.rotating: period >= 1";
+  let start = Rng.int rng n in
+  Trace.fixed
+    (Array.init steps (fun t ->
+         let center = (start + (t / period)) mod n in
+         hot_window ~n ~arc ~heat rng center))
+
+let allreduce ~n ~steps =
+  check ~n ~steps;
+  Trace.fixed (Array.init steps (fun t -> t mod n))
+
+let zipf ~n ~steps ?(exponent = 1.1) rng =
+  check ~n ~steps;
+  if exponent <= 0.0 then invalid_arg "Workloads.zipf: exponent must be positive";
+  let ranks = Array.init n (fun i -> i) in
+  Rng.shuffle rng ranks;
+  let weights =
+    Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** exponent))
+  in
+  let dist = Rbgp_util.Dist.of_weights weights in
+  Trace.fixed
+    (Array.init steps (fun _ -> ranks.(Rbgp_util.Dist.sample rng dist)))
+
+let piecewise_static ~n ~steps ?period ?hot_edges rng =
+  check ~n ~steps;
+  let period =
+    match period with Some p -> p | None -> Stdlib.max 1 (steps / 8)
+  in
+  let hot_edges =
+    match hot_edges with Some h -> h | None -> Stdlib.max 1 (n / 32)
+  in
+  if period < 1 || hot_edges < 1 then
+    invalid_arg "Workloads.piecewise_static: bad parameters";
+  let hot = Array.init hot_edges (fun _ -> Rng.int rng n) in
+  Trace.fixed
+    (Array.init steps (fun t ->
+         if t > 0 && t mod period = 0 then
+           Array.iteri (fun i _ -> hot.(i) <- Rng.int rng n) hot;
+         Rng.pick rng hot))
+
+let partitionable ~n ~ell ~steps ?offset rng =
+  check ~n ~steps;
+  if ell <= 0 || n mod ell <> 0 then
+    invalid_arg "Workloads.partitionable: ell must divide n";
+  let k = n / ell in
+  if k < 2 then invalid_arg "Workloads.partitionable: blocks need >= 2 processes";
+  let offset = match offset with Some o -> o mod n | None -> Rng.int rng n in
+  (* internal edges of block b: offset + b*k + j for j in [0, k-2] *)
+  Trace.fixed
+    (Array.init steps (fun _ ->
+         let b = Rng.int rng ell in
+         let j = Rng.int rng (k - 1) in
+         (offset + (b * k) + j) mod n))
+
+let adversary_cut_chaser ~n =
+  let last = ref 0 in
+  Trace.adaptive (fun _step assignment ->
+      (* request a currently-cut edge, scanning from the last requested
+         position so repeated hits concentrate on one boundary *)
+      let rec find i steps =
+        if steps >= n then !last (* no cut edge: keep hammering *)
+        else if Rbgp_ring.Assignment.cuts_edge assignment i then i
+        else find ((i + 1) mod n) (steps + 1)
+      in
+      let e = find !last 0 in
+      last := e;
+      e)
+
+let all_fixed ~n ~steps rng =
+  [
+    ("uniform", uniform ~n ~steps (Rng.split rng));
+    ("hotspot", hotspot ~n ~steps (Rng.split rng));
+    ("rotating", rotating ~n ~steps (Rng.split rng));
+    ("allreduce", allreduce ~n ~steps);
+    ("zipf", zipf ~n ~steps (Rng.split rng));
+    ("piecewise", piecewise_static ~n ~steps (Rng.split rng));
+  ]

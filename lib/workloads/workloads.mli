@@ -1,0 +1,70 @@
+(** Request-trace generators.
+
+    The paper motivates ring demands with machine-learning traffic (ring
+    allreduce) and proves bounds against adversarial sequences; since it
+    ships no traces, these generators synthesize the demand regimes its
+    analysis distinguishes.  Each documents the regime it stresses:
+
+    - {!uniform}: memoryless noise; both online algorithms should track the
+      per-interval optima closely (E2).
+    - {!hotspot}: a fixed hot arc — a *static-friendly* demand where
+      [never_move]/static OPT is nearly free and strict competitiveness
+      (Theorem 2.2's lack of an additive term) is visible.
+    - {!rotating}: a hot arc that drifts around the ring — dynamic OPT
+      migrates and beats every static placement; the regime where
+      Theorem 2.1's dynamic comparator separates from Theorem 2.2's (E3).
+    - {!allreduce}: deterministic ring-allreduce sweeps (each step requests
+      the next edge around the ring), the motivating ML pattern; every
+      partition pays ~1/k of requests, so OPT is dense and ratios are
+      near 1.
+    - {!zipf}: heavy-tailed edge popularity with permuted ranks.
+    - {!piecewise_static}: i.i.d. within a phase, resampled every [period]
+      steps — tests how fast the algorithms re-converge.
+    - {!adversary_cut_chaser}: adaptive — always requests a currently cut
+      edge of the algorithm under test (preferring the most recently
+      requested cut to maximize pressure).  Deterministic algorithms pay
+      every step (the Omega(k) regime, Avin et al.); randomized cut
+      placement makes the realized cut unpredictable, so this generator
+      also measures how much the adaptive adversary hurts in practice. *)
+
+val uniform : n:int -> steps:int -> Rbgp_util.Rng.t -> Rbgp_ring.Trace.t
+
+val hotspot :
+  n:int -> steps:int -> ?arc:int -> ?heat:float -> Rbgp_util.Rng.t ->
+  Rbgp_ring.Trace.t
+(** [arc]: width of the hot window (default [max 1 (n/16)]); [heat]:
+    probability a request lands in it (default 0.9). *)
+
+val rotating :
+  n:int -> steps:int -> ?arc:int -> ?heat:float -> ?period:int ->
+  Rbgp_util.Rng.t -> Rbgp_ring.Trace.t
+(** The hot window advances one position every [period] steps (default:
+    chosen so it completes one revolution over the trace). *)
+
+val allreduce : n:int -> steps:int -> Rbgp_ring.Trace.t
+
+val zipf :
+  n:int -> steps:int -> ?exponent:float -> Rbgp_util.Rng.t -> Rbgp_ring.Trace.t
+
+val piecewise_static :
+  n:int -> steps:int -> ?period:int -> ?hot_edges:int -> Rbgp_util.Rng.t ->
+  Rbgp_ring.Trace.t
+
+val partitionable :
+  n:int -> ell:int -> steps:int -> ?offset:int -> Rbgp_util.Rng.t ->
+  Rbgp_ring.Trace.t
+(** The *learning variant*'s input class (Henzinger et al.): a hidden
+    balanced partition of the ring into [ell] blocks of [n/ell] is drawn
+    (rotated by [offset], random by default), and every request falls on an
+    edge internal to some hidden block — the demand graph's components fit
+    into servers perfectly.  Learning algorithms converge to zero marginal
+    cost here; the paper's point is that genuine ring demand does not
+    belong to this class (E14). *)
+
+val adversary_cut_chaser : n:int -> Rbgp_ring.Trace.t
+
+val all_fixed :
+  n:int -> steps:int -> Rbgp_util.Rng.t -> (string * Rbgp_ring.Trace.t) list
+(** The oblivious generators above with default parameters, fresh
+    independent rng streams, labelled — the standard workload suite of the
+    harness. *)

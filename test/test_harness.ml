@@ -1,0 +1,104 @@
+(* Tests for the experiment harness: the runner's agreement with the
+   simulator, the algorithm registries, and smoke-running representative
+   experiments end to end (the cheap ones; the full suite is exercised by
+   `dune exec bench/main.exe`). *)
+
+module Instance = Rbgp_ring.Instance
+module Cost = Rbgp_ring.Cost
+module Trace = Rbgp_ring.Trace
+module Runner = Rbgp_harness.Runner
+module Report = Rbgp_harness.Report
+module Rng = Rbgp_util.Rng
+
+let test_run_alg_matches_simulator () =
+  let inst = Runner.instance ~n:32 ~ell:4 in
+  let rng = Rng.create 1 in
+  let trace = Array.init 1_000 (fun _ -> Rng.int rng 32) in
+  let run =
+    Runner.run_alg inst
+      (Rbgp_baselines.Baselines.never_move inst)
+      (Trace.fixed trace) ~steps:1_000
+  in
+  let direct =
+    Rbgp_ring.Simulator.run inst
+      (Rbgp_baselines.Baselines.never_move inst)
+      (Trace.fixed trace) ~steps:1_000
+  in
+  Alcotest.(check int) "same total"
+    (Cost.total direct.Rbgp_ring.Simulator.cost)
+    (Cost.total run.Runner.cost);
+  Alcotest.(check string) "algorithm name" "never-move" run.Runner.alg
+
+let test_registries () =
+  let core = Runner.core_algorithms ~epsilon:0.5 in
+  let base = Runner.baseline_algorithms ~epsilon:0.5 in
+  let mts = Runner.mts_variants ~epsilon:0.5 in
+  Alcotest.(check int) "two core algorithms" 2 (List.length core);
+  Alcotest.(check int) "five baselines" 5 (List.length base);
+  Alcotest.(check int) "four MTS variants" 4 (List.length mts);
+  (* every spec builds a runnable algorithm *)
+  let inst = Runner.instance ~n:32 ~ell:4 in
+  let trace = Array.init 200 (fun i -> i mod 32) in
+  List.iter
+    (fun (spec : Runner.alg_spec) ->
+      let alg = spec.Runner.build inst ~trace ~seed:3 in
+      let r = Runner.run_alg inst alg (Trace.fixed trace) ~steps:200 in
+      Alcotest.(check bool)
+        (spec.Runner.name ^ " runs")
+        true
+        (Cost.total r.Runner.cost >= 0))
+    (core @ base @ mts)
+
+let test_averaged () =
+  let mean, sd = Runner.averaged ~seeds:[ 1; 2; 3 ] (fun s -> float_of_int s) in
+  Alcotest.(check (float 1e-9)) "mean" 2.0 mean;
+  Alcotest.(check (float 1e-9)) "sd" 1.0 sd
+
+let test_experiment_ids () =
+  Alcotest.(check int) "fourteen experiments" 14 (List.length Report.all);
+  Alcotest.(check bool) "unknown id raises" true
+    (try
+       Report.run "e99";
+       false
+     with Invalid_argument _ -> true)
+
+let with_null_stdout f =
+  (* the experiments print tables; keep test output readable *)
+  let dev_null = open_out "/dev/null" in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 (Unix.descr_of_out_channel dev_null) Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      close_out dev_null)
+    f
+
+let smoke id = with_null_stdout (fun () -> Report.run ~quick:true ~seed:7 id)
+
+let test_smoke_e1 () = smoke "e1"
+let test_smoke_e4 () = smoke "e4"
+let test_smoke_e5 () = smoke "e5"
+let test_smoke_e6 () = smoke "e6"
+
+let () =
+  Alcotest.run "rbgp_harness"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "matches simulator" `Quick
+            test_run_alg_matches_simulator;
+          Alcotest.test_case "registries" `Quick test_registries;
+          Alcotest.test_case "averaged" `Quick test_averaged;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "experiment ids" `Quick test_experiment_ids;
+          Alcotest.test_case "e1 smoke" `Slow test_smoke_e1;
+          Alcotest.test_case "e4 smoke" `Slow test_smoke_e4;
+          Alcotest.test_case "e5 smoke" `Slow test_smoke_e5;
+          Alcotest.test_case "e6 smoke" `Slow test_smoke_e6;
+        ] );
+    ]

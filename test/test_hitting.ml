@@ -1,0 +1,261 @@
+(* Tests for the hitting game (Section 4.1): the game drivers, the growth
+   schedule, the interval-growing algorithm's invariants and competitive
+   behaviour, the exact comparators, and the adversaries. *)
+
+module Game = Rbgp_hitting.Game
+module Ig = Rbgp_hitting.Interval_growing
+module Sopt = Rbgp_hitting.Static_opt
+module Adv = Rbgp_hitting.Adversary
+module Rng = Rbgp_util.Rng
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- start edge / growth rule ------------------------------------------ *)
+
+let test_start_edge () =
+  Alcotest.(check int) "k=1" 0 (Game.start_edge ~k:1);
+  Alcotest.(check int) "k=2" 0 (Game.start_edge ~k:2);
+  Alcotest.(check int) "k=8" 3 (Game.start_edge ~k:8);
+  Alcotest.(check int) "k=9" 4 (Game.start_edge ~k:9)
+
+let test_grow_rule =
+  qtest ~count:500 "grow rule: doubles, stays in bounds, keeps the core"
+    QCheck2.Gen.(
+      int_range 1 100 >>= fun k ->
+      int_range 0 k >>= fun vl ->
+      int_range vl k >|= fun vr -> (k, vl, vr))
+    (fun (k, vl, vr) ->
+      let vl', vr' = Ig.grow_rule ~k ~vl ~vr in
+      let w = vr - vl + 1 and w' = vr' - vl' + 1 in
+      w' = min (2 * w) (k + 1)
+      && vl' >= 0 && vr' <= k
+      && vl' <= vl && vr' >= vr)
+
+(* --- interval growing --------------------------------------------------- *)
+
+let test_ig_position_inside =
+  qtest ~count:50 "position stays within the current interval"
+    QCheck2.Gen.(
+      int_range 2 64 >>= fun k ->
+      list_size (int_range 1 300) (int_range 0 (k - 1)) >|= fun es ->
+      (k, Array.of_list es))
+    (fun (k, es) ->
+      let ig = Ig.create ~k (Rng.create 3) in
+      Array.for_all
+        (fun e ->
+          Ig.serve ig e;
+          let vl, vr = Ig.interval ig in
+          let p = Ig.position ig in
+          p >= vl && p < vr)
+        es)
+
+let test_ig_phase_bound =
+  qtest ~count:50 "phases bounded by log2(k+1) + 1"
+    QCheck2.Gen.(
+      int_range 2 64 >>= fun k ->
+      list_size (int_range 1 500) (int_range 0 (k - 1)) >|= fun es ->
+      (k, Array.of_list es))
+    (fun (k, es) ->
+      let ig = Ig.create ~k (Rng.create 7) in
+      Array.iter (Ig.serve ig) es;
+      float_of_int (Ig.phases ig)
+      <= (log (float_of_int (k + 1)) /. log 2.0) +. 1.0)
+
+let test_ig_counts () =
+  let ig = Ig.create ~k:8 (Rng.create 1) in
+  Ig.serve ig 2;
+  Ig.serve ig 2;
+  Ig.serve ig 5;
+  Alcotest.(check int) "count edge 2" 2 (Ig.request_count ig 2);
+  Alcotest.(check int) "count edge 5" 1 (Ig.request_count ig 5);
+  Alcotest.(check int) "count edge 0" 0 (Ig.request_count ig 0)
+
+let test_ig_hammer_cheap () =
+  (* requests at the start edge: after the first growth the player escapes
+     and pays a constant independent of the horizon *)
+  let k = 128 in
+  let ig = Ig.create ~k (Rng.create 5) in
+  let start = Game.start_edge ~k in
+  for _ = 1 to 10_000 do
+    Ig.serve ig start
+  done;
+  let cost = Ig.hit_cost ig +. Ig.move_cost ig in
+  Alcotest.(check bool)
+    (Printf.sprintf "hammer cost %.0f small" cost)
+    true (cost <= 20.0)
+
+let test_ig_competitive_uniform () =
+  (* uniform requests: the measured ratio stays within a generous polylog
+     envelope (Corollary 4.4 says O(log k) in expectation) *)
+  let k = 64 in
+  let steps = 20_000 in
+  let rng = Rng.create 11 in
+  let requests = Adv.uniform ~k ~steps (Rng.split rng) in
+  let ratios =
+    List.map
+      (fun seed ->
+        let ig = Ig.create ~k (Rng.create seed) in
+        Game.run (Ig.player ig) requests;
+        let opt = Sopt.static ~k requests in
+        (Ig.hit_cost ig +. Ig.move_cost ig) /. opt)
+      [ 1; 2; 3 ]
+  in
+  let mean = List.fold_left ( +. ) 0.0 ratios /. 3.0 in
+  let envelope = 3.0 *. (log (float_of_int k) /. log 2.0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f within 3 log2 k = %.1f" mean envelope)
+    true (mean <= envelope)
+
+let test_ig_lemma_4_3_bound () =
+  (* Lemma 4.3: for the current interval I,
+     E[hit] <= 2 min(I) + O(ln|I|)|I| and E[move] <= 4 min(I) + O(ln|I|)|I|.
+     Check with a generous constant, averaged over seeds. *)
+  let k = 64 in
+  let steps = 20_000 in
+  let requests = Adv.uniform ~k ~steps (Rng.create 31) in
+  List.iter
+    (fun seed ->
+      let ig = Ig.create ~k (Rng.create seed) in
+      Game.run (Ig.player ig) requests;
+      let vl, vr = Ig.interval ig in
+      let width = float_of_int (vr - vl + 1) in
+      let min_i = ref max_int in
+      for e = vl to vr - 1 do
+        min_i := min !min_i (Ig.request_count ig e)
+      done;
+      let slack = 8.0 *. log width *. width in
+      Alcotest.(check bool)
+        (Printf.sprintf "hit %.0f within Lemma 4.3a" (Ig.hit_cost ig))
+        true
+        (Ig.hit_cost ig <= (2.0 *. float_of_int !min_i) +. slack);
+      Alcotest.(check bool)
+        (Printf.sprintf "move %.0f within Lemma 4.3b" (Ig.move_cost ig))
+        true
+        (Ig.move_cost ig <= (4.0 *. float_of_int !min_i) +. slack))
+    [ 1; 2; 3 ]
+
+let test_ig_player_consistency () =
+  let k = 16 in
+  let ig = Ig.create ~k (Rng.create 9) in
+  let p = Ig.player ig in
+  p.Game.serve 7;
+  p.Game.serve 7;
+  Alcotest.(check (float 1e-9)) "hit via player" (Ig.hit_cost ig) (p.Game.hit_cost ());
+  Alcotest.(check (float 1e-9)) "move via player" (Ig.move_cost ig) (p.Game.move_cost ());
+  Alcotest.(check int) "position via player" (Ig.position ig) (p.Game.position ())
+
+let test_ig_validation () =
+  Alcotest.check_raises "bad delta"
+    (Invalid_argument "Interval_growing.create: delta_bar out of (1/2, 1)")
+    (fun () -> ignore (Ig.create ~k:8 ~delta_bar:0.3 (Rng.create 0)));
+  Alcotest.check_raises "bad edge"
+    (Invalid_argument "Interval_growing.serve: edge out of range") (fun () ->
+      Ig.serve (Ig.create ~k:8 (Rng.create 0)) 8)
+
+(* --- static / dynamic comparators --------------------------------------- *)
+
+let requests_gen =
+  QCheck2.Gen.(
+    int_range 2 32 >>= fun k ->
+    list_size (int_range 0 60) (int_range 0 (k - 1)) >|= fun es ->
+    (k, Array.of_list es))
+
+let test_static_formula =
+  qtest ~count:300 "static OPT = min over positions of dist + hits"
+    requests_gen (fun (k, es) ->
+      let start = Game.start_edge ~k in
+      let hits = Array.make k 0 in
+      Array.iter (fun e -> hits.(e) <- hits.(e) + 1) es;
+      let expected = ref infinity in
+      for p = 0 to k - 1 do
+        let v = float_of_int (abs (p - start) + hits.(p)) in
+        if v < !expected then expected := v
+      done;
+      Float.abs (Sopt.static ~k es -. !expected) < 1e-9)
+
+let test_static_position =
+  qtest ~count:300 "static position realizes the optimum" requests_gen
+    (fun (k, es) ->
+      let start = Game.start_edge ~k in
+      let p = Sopt.static_position ~k es in
+      let hits = Array.make k 0 in
+      Array.iter (fun e -> hits.(e) <- hits.(e) + 1) es;
+      Float.abs
+        (float_of_int (abs (p - start) + hits.(p)) -. Sopt.static ~k es)
+      < 1e-9)
+
+let test_dynamic_le_static =
+  qtest ~count:300 "dynamic OPT <= static OPT" requests_gen (fun (k, es) ->
+      Sopt.dynamic ~k es <= Sopt.static ~k es +. 1e-9)
+
+(* --- players and adversaries -------------------------------------------- *)
+
+let test_greedy_dodge_chase () =
+  let k = 32 in
+  let steps = 4 * k * k in
+  let dodger = Game.greedy_dodge ~k () in
+  let trace =
+    Game.run_adaptive dodger ~steps ~next:(fun _ pos -> Adv.chase 0 pos)
+  in
+  (* chased, the sweeper pays every step... *)
+  Alcotest.(check (float 1e-9)) "pays every step" (float_of_int steps)
+    (Game.total_cost dodger);
+  (* ...and spreads the requests so static OPT is ~steps/k + O(k) *)
+  let opt = Sopt.static ~k trace in
+  Alcotest.(check bool)
+    (Printf.sprintf "opt %.0f near T/k + k" opt)
+    true
+    (opt >= float_of_int (steps / k) /. 2.0
+    && opt <= float_of_int ((steps / k) + (2 * k)))
+
+let test_of_mts_player () =
+  let k = 8 in
+  let m = Rbgp_mts.Metric.Line k in
+  let solver = Rbgp_mts.Work_function.solver m ~start:3 ~rng:(Rng.create 0) in
+  let p = Game.of_mts solver in
+  Alcotest.(check int) "initial position" 3 (p.Game.position ());
+  p.Game.serve 3;
+  p.Game.serve 3;
+  Alcotest.(check bool) "costs accumulate" true (Game.total_cost p > 0.0)
+
+let test_adversaries_ranges () =
+  let k = 16 in
+  let u = Adv.uniform ~k ~steps:500 (Rng.create 2) in
+  Alcotest.(check bool) "uniform in range" true
+    (Array.for_all (fun e -> e >= 0 && e < k) u);
+  let h = Adv.hammer ~k ~edge:5 ~steps:100 in
+  Alcotest.(check bool) "hammer constant" true (Array.for_all (( = ) 5) h);
+  let b = Adv.bait_and_switch ~k ~steps:100 in
+  Alcotest.(check bool) "bait in range" true
+    (Array.for_all (fun e -> e >= 0 && e < k) b);
+  Alcotest.(check bool) "bait switches" true (b.(0) <> b.(99))
+
+let () =
+  Alcotest.run "rbgp_hitting"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "start edge" `Quick test_start_edge;
+          test_grow_rule;
+        ] );
+      ( "interval-growing",
+        [
+          test_ig_position_inside;
+          test_ig_phase_bound;
+          Alcotest.test_case "request counts" `Quick test_ig_counts;
+          Alcotest.test_case "hammer is cheap" `Quick test_ig_hammer_cheap;
+          Alcotest.test_case "uniform competitive" `Quick test_ig_competitive_uniform;
+          Alcotest.test_case "Lemma 4.3 phase bounds" `Quick test_ig_lemma_4_3_bound;
+          Alcotest.test_case "player view consistent" `Quick test_ig_player_consistency;
+          Alcotest.test_case "validation" `Quick test_ig_validation;
+        ] );
+      ( "comparators",
+        [ test_static_formula; test_static_position; test_dynamic_le_static ] );
+      ( "players",
+        [
+          Alcotest.test_case "greedy-dodge chase" `Quick test_greedy_dodge_chase;
+          Alcotest.test_case "of_mts adapter" `Quick test_of_mts_player;
+          Alcotest.test_case "adversary ranges" `Quick test_adversaries_ranges;
+        ] );
+    ]

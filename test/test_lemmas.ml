@@ -1,0 +1,269 @@
+(* The paper's structural lemmas, executed.
+
+   Lemmas 4.5 and 4.6 are pure combinatorial statements about
+   monochromatic segments — property-tested directly on random colorings.
+   Lemmas 4.9 (slice size between adjacent active intervals) and 4.21
+   (every process is in O(log k) intervals) are invariants of the slicing
+   procedure's state — checked continuously during full runs of the static
+   algorithm under several demand regimes.  Lemma 4.12 / Corollary 4.10
+   (cluster sizes) are covered in test_static.ml; this file holds the
+   lemmas about raw interval/segment structure. *)
+
+module Instance = Rbgp_ring.Instance
+module Segment = Rbgp_ring.Segment
+module Slicing = Rbgp_core.Slicing
+module Static_alg = Rbgp_core.Static_alg
+module Rng = Rbgp_util.Rng
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Lemma 4.5 ---------------------------------------------------------- *)
+
+(* Let I and J be two overlapping delta-monochromatic segments with
+   |I cap J| >= alpha * max(|I|, |J|) and delta >= 1 - alpha/2.  Then they
+   have the same majority color. *)
+
+let coloring_gen =
+  QCheck2.Gen.(
+    int_range 8 40 >>= fun n ->
+    int_range 2 4 >>= fun colors ->
+    array_size (return n) (int_range 0 (colors - 1)) >>= fun coloring ->
+    let seg =
+      int_range 0 (n - 1) >>= fun start ->
+      int_range 2 n >|= fun len -> Segment.make ~n ~start ~len
+    in
+    pair seg seg >|= fun (i, j) -> (coloring, i, j))
+
+let color_count coloring seg c =
+  Segment.fold (fun acc p -> if coloring.(p) = c then acc + 1 else acc) 0 seg
+
+let majority coloring ~colors seg =
+  let best = ref 0 and best_c = ref 0 in
+  for c = 0 to colors - 1 do
+    let v = color_count coloring seg c in
+    if v > !best then begin
+      best := v;
+      best_c := c
+    end
+  done;
+  (!best_c, !best)
+
+let is_delta_mono coloring ~colors ~delta seg =
+  let _, cnt = majority coloring ~colors seg in
+  float_of_int cnt > delta *. float_of_int (Segment.length seg)
+
+let test_lemma_4_5 =
+  qtest ~count:2000 "Lemma 4.5: big overlap forces equal majority colors"
+    coloring_gen (fun (coloring, i, j) ->
+      let colors = 1 + Array.fold_left max 0 coloring in
+      let inter = Segment.inter_size i j in
+      let mx = max (Segment.length i) (Segment.length j) in
+      if inter = 0 then true (* no overlap: lemma silent *)
+      else begin
+        let alpha = float_of_int inter /. float_of_int mx in
+        let delta = 1.0 -. (alpha /. 2.0) in
+        (* strengthen delta a little to stay strictly above the threshold *)
+        let delta = delta +. 1e-9 in
+        if
+          is_delta_mono coloring ~colors ~delta i
+          && is_delta_mono coloring ~colors ~delta j
+        then
+          fst (majority coloring ~colors i) = fst (majority coloring ~colors j)
+        else true
+      end)
+
+(* --- Lemma 4.6 ---------------------------------------------------------- *)
+
+(* A union of consecutive overlapping delta-monochromatic segments with the
+   same majority color c is delta/(2-delta)-monochromatic for c. *)
+
+let chain_gen =
+  QCheck2.Gen.(
+    int_range 20 60 >>= fun n ->
+    int_range 2 3 >>= fun colors ->
+    array_size (return n) (int_range 0 (colors - 1)) >>= fun coloring ->
+    int_range 2 5 >>= fun m ->
+    int_range 0 (n - 1) >>= fun start0 ->
+    (* build a chain of overlapping segments going clockwise *)
+    let seg_len = int_range 3 (n / 3) in
+    let rec build i start acc =
+      if i = m then return (List.rev acc)
+      else
+        seg_len >>= fun len ->
+        int_range 1 (len - 1) >>= fun advance ->
+        let seg = Segment.make ~n ~start ~len in
+        build (i + 1) (start + advance) (seg :: acc)
+    in
+    build 0 start0 [] >|= fun segs -> (coloring, colors, segs))
+
+let union_segment segs =
+  (* the chain is built going clockwise with overlaps, so the union runs
+     from the first segment's start to the last reaching endpoint *)
+  match segs with
+  | [] -> assert false
+  | first :: _ ->
+      let n = first.Segment.n in
+      let start = Segment.first first in
+      let reach =
+        List.fold_left
+          (fun acc seg ->
+            max acc
+              (Segment.cw_distance ~n start (Segment.first seg)
+              + Segment.length seg))
+          0 segs
+      in
+      if reach >= n then Segment.whole ~n
+      else Segment.make ~n ~start ~len:reach
+
+let test_lemma_4_6 =
+  qtest ~count:2000
+    "Lemma 4.6: unions of same-majority delta-mono chains stay mono"
+    chain_gen (fun (coloring, colors, segs) ->
+      let delta = 0.75 in
+      let monos =
+        List.for_all (is_delta_mono coloring ~colors ~delta) segs
+      in
+      let majors =
+        List.map (fun s -> fst (majority coloring ~colors s)) segs
+      in
+      let same_major =
+        match majors with [] -> true | c :: rest -> List.for_all (( = ) c) rest
+      in
+      if not (monos && same_major) then true
+      else begin
+        let u = union_segment segs in
+        let c = List.hd majors in
+        let cnt = color_count coloring u c in
+        (* delta/(2-delta) with delta = 3/4 gives 3/5 *)
+        float_of_int cnt
+        >= delta /. (2.0 -. delta) *. float_of_int (Segment.length u) -. 1e-9
+      end)
+
+(* --- Lemmas 4.9 / 4.21 during slicing runs ------------------------------- *)
+
+let drive_static ~n ~ell ~steps ~seed ~workload ~check =
+  let inst = Instance.blocks ~n ~ell in
+  let rng = Rng.create seed in
+  let alg = Static_alg.create ~epsilon:0.5 inst (Rng.split rng) in
+  let trace = workload inst (Rng.split rng) in
+  let online = Static_alg.online alg in
+  ignore
+    (Rbgp_ring.Simulator.run
+       ~on_step:(fun step _ -> if step mod 25 = 0 then check step alg)
+       inst online trace ~steps);
+  check steps alg
+
+let check_lemma_4_21 n k step alg =
+  (* every process is contained in at most 8 * (log2 k + 2) interval
+     segments (active or inactive) — Lemma 4.21's bound with its explicit
+     constants relaxed by the rank-1/2 special cases *)
+  let s = Static_alg.slicing alg in
+  let containment = Array.make n 0 in
+  for id = 0 to Slicing.interval_count s - 1 do
+    Segment.iter
+      (fun p -> containment.(p) <- containment.(p) + 1)
+      (Slicing.interval_seg s id)
+  done;
+  let bound =
+    8.0 *. ((log (float_of_int k) /. log 2.0) +. 2.0)
+  in
+  Array.iteri
+    (fun p c ->
+      if float_of_int c > bound then
+        Alcotest.fail
+          (Printf.sprintf
+             "step %d: process %d is in %d intervals (bound %.1f, Lemma 4.21)"
+             step p c bound))
+    containment
+
+let check_lemma_4_9 n k step alg =
+  (* the slice between the cut edges of adjacent active intervals has at
+     most |A| + |B| - 2 + (2 - delta_bar)/delta_bar * k processes *)
+  let s = Static_alg.slicing alg in
+  let delta_bar = Static_alg.delta_bar alg in
+  let cuts = Slicing.active_cuts s in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare a b) cuts in
+  match sorted with
+  | [] | [ _ ] -> ()
+  | (first_id, first_cut) :: _ ->
+      let rec pairs = function
+        | (ia, a) :: ((_, _) as nb) :: rest ->
+            ((ia, a), nb) :: pairs (nb :: rest)
+        | [ (ia, a) ] -> [ ((ia, a), (first_id, first_cut)) ]
+        | [] -> []
+      in
+      List.iter
+        (fun ((ia, a), (ib, b)) ->
+          if a <> b then begin
+            let slice_len = Segment.cw_distance ~n a b in
+            let la = Segment.length (Slicing.interval_seg s ia) in
+            let lb = Segment.length (Slicing.interval_seg s ib) in
+            let bound =
+              float_of_int (la + lb - 2)
+              +. ((2.0 -. delta_bar) /. delta_bar *. float_of_int k)
+            in
+            if float_of_int slice_len > bound +. 1e-9 then
+              Alcotest.fail
+                (Printf.sprintf
+                   "step %d: slice between cuts %d and %d has %d processes \
+                    (bound %.1f, Lemma 4.9)"
+                   step a b slice_len bound)
+          end)
+        (pairs sorted)
+
+let lemma_run_cases =
+  [
+    (64, 4, "uniform");
+    (64, 4, "rotating");
+    (96, 6, "zipf");
+    (128, 8, "hotspot");
+  ]
+
+let workload_of name inst rng =
+  let n = inst.Instance.n in
+  let steps = 4_000 in
+  match name with
+  | "uniform" -> Rbgp_workloads.Workloads.uniform ~n ~steps rng
+  | "rotating" -> Rbgp_workloads.Workloads.rotating ~n ~steps rng
+  | "zipf" -> Rbgp_workloads.Workloads.zipf ~n ~steps rng
+  | "hotspot" -> Rbgp_workloads.Workloads.hotspot ~n ~steps rng
+  | _ -> assert false
+
+let test_lemma_4_21 () =
+  List.iter
+    (fun (n, ell, w) ->
+      drive_static ~n ~ell ~steps:4_000 ~seed:(n + ell) ~workload:(workload_of w)
+        ~check:(fun step alg -> check_lemma_4_21 n (n / ell) step alg))
+    lemma_run_cases
+
+let test_lemma_4_9 () =
+  List.iter
+    (fun (n, ell, w) ->
+      drive_static ~n ~ell ~steps:4_000 ~seed:(2 * (n + ell))
+        ~workload:(workload_of w)
+        ~check:(fun step alg -> check_lemma_4_9 n (n / ell) step alg))
+    lemma_run_cases
+
+(* --- Fact 3.5 ------------------------------------------------------------ *)
+
+let test_fact_3_5 =
+  qtest ~count:1000 "Fact 3.5: (s-d) log(s/(s-d)) <= d"
+    QCheck2.Gen.(
+      int_range 2 1000 >>= fun s ->
+      int_range 1 (s - 1) >|= fun d -> (float_of_int s, float_of_int d))
+    (fun (s, d) -> (s -. d) *. log (s /. (s -. d)) <= d +. 1e-9)
+
+let () =
+  Alcotest.run "rbgp_lemmas"
+    [
+      ( "segment-structure",
+        [ test_lemma_4_5; test_lemma_4_6; test_fact_3_5 ] );
+      ( "slicing-structure",
+        [
+          Alcotest.test_case "Lemma 4.21: interval containment" `Slow
+            test_lemma_4_21;
+          Alcotest.test_case "Lemma 4.9: inter-cut slice size" `Slow
+            test_lemma_4_9;
+        ] );
+    ]

@@ -1,0 +1,275 @@
+(* Tests for the offline comparators: the Hungarian algorithm against
+   permutation brute force, the static ring optimum (DP + Hungarian vs
+   exhaustive search, certified lower bound ordering), the exact dynamic
+   DP, and the windowed dynamic lower bound — the crucial property being
+   that every "lower bound" is genuinely below the exact optimum on
+   exhaustively checkable instances. *)
+
+module Instance = Rbgp_ring.Instance
+module Cost = Rbgp_ring.Cost
+module Hungarian = Rbgp_offline.Hungarian
+module Sopt = Rbgp_offline.Static_opt
+module Dopt = Rbgp_offline.Dynamic_opt
+module Lb = Rbgp_offline.Lower_bound
+module Rng = Rbgp_util.Rng
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Hungarian --------------------------------------------------------- *)
+
+let matrix_gen =
+  QCheck2.Gen.(
+    int_range 1 6 >>= fun n ->
+    array_size (return n) (array_size (return n) (float_range (-5.0) 10.0)))
+
+let test_hungarian_vs_brute =
+  qtest ~count:300 "hungarian = brute force (incl. negative costs)" matrix_gen
+    (fun m ->
+      let _, h = Hungarian.solve m in
+      let _, b = Hungarian.solve_brute m in
+      Float.abs (h -. b) < 1e-6)
+
+let test_hungarian_is_permutation =
+  qtest ~count:300 "hungarian returns a permutation" matrix_gen (fun m ->
+      let a, _ = Hungarian.solve m in
+      let sorted = Array.copy a in
+      Array.sort compare sorted;
+      sorted = Array.init (Array.length m) (fun i -> i))
+
+let test_hungarian_known () =
+  let m = [| [| 4.0; 1.0; 3.0 |]; [| 2.0; 0.0; 5.0 |]; [| 3.0; 2.0; 2.0 |] |] in
+  let a, total = Hungarian.solve m in
+  Alcotest.(check (float 1e-9)) "known optimum" 5.0 total;
+  Alcotest.(check (array int)) "known assignment" [| 1; 0; 2 |] a
+
+let test_hungarian_not_square () =
+  Alcotest.check_raises "not square"
+    (Invalid_argument "Hungarian.solve: not square") (fun () ->
+      ignore (Hungarian.solve [| [| 1.0 |]; [| 2.0 |] |] : int array * float))
+
+(* --- static ring optimum ------------------------------------------------ *)
+
+let tiny_ring_gen =
+  QCheck2.Gen.(
+    oneofl [ (6, 2); (6, 3); (8, 2); (9, 3) ] >>= fun (n, ell) ->
+    list_size (int_range 0 40) (int_range 0 (n - 1)) >|= fun es ->
+    (n, ell, Array.of_list es))
+
+let test_static_order =
+  qtest ~count:150 "crossing LB <= brute force <= segmented" tiny_ring_gen
+    (fun (n, ell, trace) ->
+      let inst = Instance.blocks ~n ~ell in
+      let lb = Sopt.crossing_lower_bound inst trace in
+      let brute = Sopt.brute_force inst trace in
+      let seg = Sopt.segmented inst trace in
+      lb <= brute.Sopt.total && brute.Sopt.total <= seg.Sopt.total)
+
+let test_static_solutions_priced =
+  qtest ~count:150 "solutions re-price consistently" tiny_ring_gen
+    (fun (n, ell, trace) ->
+      let inst = Instance.blocks ~n ~ell in
+      let check (s : Sopt.solution) =
+        let again = Sopt.cost_of_assignment inst trace s.Sopt.assignment in
+        again.Sopt.total = s.Sopt.total
+        && again.Sopt.crossing = s.Sopt.crossing
+        && again.Sopt.migration = s.Sopt.migration
+        && s.Sopt.total = s.Sopt.crossing + s.Sopt.migration
+      in
+      check (Sopt.brute_force inst trace) && check (Sopt.segmented inst trace))
+
+let test_static_empty_trace () =
+  let inst = Instance.blocks ~n:8 ~ell:2 in
+  let s = Sopt.segmented inst [||] in
+  Alcotest.(check int) "empty trace is free" 0 s.Sopt.total;
+  let b = Sopt.brute_force inst [||] in
+  Alcotest.(check int) "brute agrees" 0 b.Sopt.total
+
+let test_static_hot_edge () =
+  (* all requests on one edge: OPT avoids cutting it *)
+  let inst = Instance.blocks ~n:8 ~ell:2 in
+  let trace = Array.make 100 3 (* edge 3 is an initial cut *) in
+  let s = Sopt.segmented inst trace in
+  Alcotest.(check bool) "avoids the hot edge" true (s.Sopt.crossing = 0);
+  Alcotest.(check bool) "pays only migration" true (s.Sopt.total <= 4)
+
+let test_cost_of_assignment_validation () =
+  let inst = Instance.blocks ~n:4 ~ell:2 in
+  Alcotest.check_raises "unbalanced"
+    (Invalid_argument "Static_opt.cost_of_assignment: unbalanced assignment")
+    (fun () ->
+      ignore (Sopt.cost_of_assignment inst [| 0 |] [| 0; 0; 0; 1 |]))
+
+let test_requires_split () =
+  let inst = Instance.make ~n:4 ~ell:2 ~k:4 () in
+  Alcotest.check_raises "n <= k rejected"
+    (Invalid_argument "Static_opt: requires n > k (ring must be split)")
+    (fun () -> ignore (Sopt.segmented inst [| 0 |]))
+
+(* --- dynamic optimum ----------------------------------------------------- *)
+
+let test_dopt_state_count () =
+  let inst = Instance.blocks ~n:4 ~ell:2 in
+  let dp = Dopt.enumerate_states inst () in
+  (* C(4,2) = 6 balanced configurations *)
+  Alcotest.(check int) "states" 6 (Dopt.state_count dp)
+
+let brute_dynamic inst trace =
+  (* exhaustive search over schedules (tiny instances only) *)
+  let dp = Dopt.enumerate_states inst () in
+  let m = Dopt.state_count dp in
+  ignore m;
+  (* enumerate sequences of configurations directly *)
+  let states = ref [] in
+  let n = inst.Instance.n and ell = inst.Instance.ell and k = inst.Instance.k in
+  let a = Array.make n 0 in
+  let loads = Array.make ell 0 in
+  let rec gen p =
+    if p = n then states := Array.copy a :: !states
+    else
+      for s = 0 to ell - 1 do
+        if loads.(s) < k then begin
+          a.(p) <- s;
+          loads.(s) <- loads.(s) + 1;
+          gen (p + 1);
+          loads.(s) <- loads.(s) - 1
+        end
+      done
+  in
+  gen 0;
+  let states = Array.of_list !states in
+  let best = ref max_int in
+  let steps = Array.length trace in
+  let ham x y =
+    let d = ref 0 in
+    Array.iteri (fun i v -> if v <> y.(i) then incr d) x;
+    !d
+  in
+  let rec go t prev acc =
+    if acc >= !best then ()
+    else if t = steps then best := acc
+    else
+      Array.iter
+        (fun c ->
+          let e = trace.(t) in
+          let comm = if c.(e) <> c.((e + 1) mod n) then 1 else 0 in
+          go (t + 1) c (acc + ham prev c + comm))
+        states
+  in
+  go 0 inst.Instance.initial 0;
+  !best
+
+let test_dopt_vs_brute =
+  qtest ~count:25 "dynamic DP = schedule brute force"
+    QCheck2.Gen.(
+      list_size (int_range 0 4) (int_range 0 3) >|= fun es -> Array.of_list es)
+    (fun trace ->
+      let inst = Instance.blocks ~n:4 ~ell:2 in
+      let dp = Dopt.enumerate_states inst () in
+      Cost.total (Dopt.solve dp trace) = brute_dynamic inst trace)
+
+let test_dopt_le_static =
+  qtest ~count:100 "dynamic OPT <= static OPT" tiny_ring_gen
+    (fun (n, ell, trace) ->
+      let inst = Instance.blocks ~n ~ell in
+      let dp = Dopt.enumerate_states inst () in
+      Cost.total (Dopt.solve dp trace) <= (Sopt.brute_force inst trace).Sopt.total)
+
+let test_dopt_schedule_replays () =
+  let inst = Instance.blocks ~n:6 ~ell:2 in
+  let rng = Rng.create 3 in
+  let trace = Array.init 100 (fun _ -> Rng.int rng 6) in
+  let dp = Dopt.enumerate_states inst () in
+  let schedule, cost = Dopt.solve_schedule dp trace in
+  let replay = Rbgp_ring.Simulator.replay_cost inst trace ~assignments:schedule in
+  Alcotest.(check int) "replay agrees" (Cost.total cost) (Cost.total replay)
+
+let test_dopt_too_large () =
+  let inst = Instance.blocks ~n:16 ~ell:4 in
+  Alcotest.(check bool) "raises on large space" true
+    (try
+       ignore (Dopt.enumerate_states inst ~max_states:100 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- lower bounds --------------------------------------------------------- *)
+
+let test_dynamic_lb_certified =
+  (* the heart of E3's validity: the windowed bound never exceeds the exact
+     dynamic optimum *)
+  qtest ~count:100 "windowed LB <= exact dynamic OPT" tiny_ring_gen
+    (fun (n, ell, trace) ->
+      let inst = Instance.blocks ~n ~ell in
+      let dp = Dopt.enumerate_states inst () in
+      Lb.dynamic_lb inst trace () <= Cost.total (Dopt.solve dp trace))
+
+let test_static_lb_reexport =
+  qtest ~count:50 "static_lb = crossing_lower_bound" tiny_ring_gen
+    (fun (n, ell, trace) ->
+      let inst = Instance.blocks ~n ~ell in
+      Lb.static_lb inst trace = Sopt.crossing_lower_bound inst trace)
+
+let test_dynamic_heuristic_bracket =
+  (* the feasible windowed schedule must land between the exact optimum and
+     the (re-priced) static optimum *)
+  qtest ~count:60 "LB <= exact OPT <= windowed UB <= static total"
+    tiny_ring_gen (fun (n, ell, trace) ->
+      let inst = Instance.blocks ~n ~ell in
+      let dp = Dopt.enumerate_states inst () in
+      let exact = Cost.total (Dopt.solve dp trace) in
+      let _, ub = Rbgp_offline.Dynamic_heuristic.best inst trace ~windows:[ 4; 16; max 1 (Array.length trace) ] () in
+      let static_total = (Sopt.segmented inst trace).Sopt.total in
+      let lb = Lb.dynamic_lb inst trace () in
+      lb <= exact
+      && exact <= Cost.total ub
+      && Cost.total ub <= static_total)
+
+let test_interval_opt_sane () =
+  let inst = Instance.blocks ~n:64 ~ell:4 in
+  let rng = Rng.create 5 in
+  let trace = Array.init 2_000 (fun _ -> Rng.int rng 64) in
+  let o = Lb.interval_opt inst trace ~shift:0 ~epsilon:0.5 in
+  Alcotest.(check bool) "positive on busy trace" true (o > 0.0);
+  Alcotest.(check (float 1e-9)) "empty trace free" 0.0
+    (Lb.interval_opt inst [||] ~shift:0 ~epsilon:0.5);
+  (* restricting requests can only reduce per-interval optima relative to
+     hammering every edge uniformly often; smoke: monotone in trace prefix *)
+  let half = Array.sub trace 0 1_000 in
+  Alcotest.(check bool) "monotone in prefix" true
+    (Lb.interval_opt inst half ~shift:0 ~epsilon:0.5 <= o +. 1e-9)
+
+let () =
+  Alcotest.run "rbgp_offline"
+    [
+      ( "hungarian",
+        [
+          test_hungarian_vs_brute;
+          test_hungarian_is_permutation;
+          Alcotest.test_case "known matrix" `Quick test_hungarian_known;
+          Alcotest.test_case "not square" `Quick test_hungarian_not_square;
+        ] );
+      ( "static-opt",
+        [
+          test_static_order;
+          test_static_solutions_priced;
+          Alcotest.test_case "empty trace" `Quick test_static_empty_trace;
+          Alcotest.test_case "hot edge avoided" `Quick test_static_hot_edge;
+          Alcotest.test_case "validation" `Quick test_cost_of_assignment_validation;
+          Alcotest.test_case "requires n > k" `Quick test_requires_split;
+        ] );
+      ( "dynamic-opt",
+        [
+          Alcotest.test_case "state count" `Quick test_dopt_state_count;
+          test_dopt_vs_brute;
+          test_dopt_le_static;
+          Alcotest.test_case "schedule replays" `Quick test_dopt_schedule_replays;
+          Alcotest.test_case "size guard" `Quick test_dopt_too_large;
+        ] );
+      ( "lower-bounds",
+        [
+          test_dynamic_lb_certified;
+          test_static_lb_reexport;
+          test_dynamic_heuristic_bracket;
+          Alcotest.test_case "interval opt sanity" `Quick test_interval_opt_sane;
+        ] );
+    ]

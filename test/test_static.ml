@@ -1,0 +1,577 @@
+(* Tests for the Section-4 machinery: the slicing procedure (interval
+   growth, deactivations, event stream), the clustering procedure
+   (structural consistency, the cluster-size lemmas), the scheduling
+   procedure (rebalancing restores the load bound), and the composed
+   static-model algorithm (Lemma 4.13 capacity, strictness, determinism).
+
+   Most properties are checked *during* full runs of the composed
+   algorithm: the clustering invariants have to hold after every request,
+   not just at the end. *)
+
+module Instance = Rbgp_ring.Instance
+module Cost = Rbgp_ring.Cost
+module Segment = Rbgp_ring.Segment
+module Trace = Rbgp_ring.Trace
+module Simulator = Rbgp_ring.Simulator
+module Slicing = Rbgp_core.Slicing
+module Clustering = Rbgp_core.Clustering
+module Scheduling = Rbgp_core.Scheduling
+module Static_alg = Rbgp_core.Static_alg
+module Rng = Rbgp_util.Rng
+
+(* --- slicing -------------------------------------------------------- *)
+
+let test_slicing_initial () =
+  let inst = Instance.blocks ~n:32 ~ell:4 in
+  let s = Slicing.create inst (Rng.create 1) in
+  Alcotest.(check (list int)) "one interval per initial cut" [ 7; 15; 23; 31 ]
+    (Slicing.initial_cuts s);
+  Alcotest.(check int) "interval count" 4 (Slicing.interval_count s);
+  List.iter
+    (fun (id, cut) ->
+      Alcotest.(check int) (Printf.sprintf "cut %d at center" id) cut
+        (List.nth (Slicing.initial_cuts s) id))
+    (Slicing.active_cuts s)
+
+let test_slicing_requires_split () =
+  let inst = Instance.make ~n:4 ~ell:1 ~k:4 () in
+  Alcotest.check_raises "n <= k rejected"
+    (Invalid_argument "Slicing.create: requires n > k") (fun () ->
+      ignore (Slicing.create inst (Rng.create 0)))
+
+let drive_slicing ~n ~ell ~steps ~seed =
+  let inst = Instance.blocks ~n ~ell in
+  let rng = Rng.create seed in
+  let s = Slicing.create inst (Rng.split rng) in
+  let events = ref [] in
+  for _ = 1 to steps do
+    let e = Rng.int rng n in
+    events := Slicing.serve s e @ !events
+  done;
+  (inst, s, List.rev !events)
+
+let test_slicing_cut_inside_interval () =
+  let _, s, _ = drive_slicing ~n:48 ~ell:4 ~steps:3_000 ~seed:2 in
+  List.iter
+    (fun (id, cut) ->
+      let seg = Slicing.interval_seg s id in
+      Alcotest.(check bool)
+        (Printf.sprintf "cut of %d inside its interval" id)
+        true
+        (Segment.mem seg cut && Segment.mem seg ((cut + 1) mod 48)))
+    (Slicing.active_cuts s)
+
+let test_slicing_interval_sizes () =
+  let inst, s, _ = drive_slicing ~n:48 ~ell:4 ~steps:3_000 ~seed:3 in
+  let k = inst.Instance.k in
+  for id = 0 to Slicing.interval_count s - 1 do
+    let len = Segment.length (Slicing.interval_seg s id) in
+    Alcotest.(check bool)
+      (Printf.sprintf "interval %d size %d follows the schedule" id len)
+      true
+      (len <= k + 1
+      && (len = k + 1 || len = 2 lsl (Slicing.interval_rank s id) || len = 2))
+  done
+
+let test_slicing_rank_growth () =
+  let _, s, _ = drive_slicing ~n:48 ~ell:4 ~steps:5_000 ~seed:4 in
+  for id = 0 to Slicing.interval_count s - 1 do
+    let len = Segment.length (Slicing.interval_seg s id) in
+    let rank = Slicing.interval_rank s id in
+    (* each growth step at most doubles: len <= 2^rank * 2 *)
+    Alcotest.(check bool) "rank consistent" true (len <= 2 lsl rank)
+  done
+
+let test_slicing_event_sanity () =
+  let _, _, events = drive_slicing ~n:48 ~ell:4 ~steps:3_000 ~seed:5 in
+  List.iter
+    (function
+      | Slicing.Cut_moved { from_edge; to_edge; dist; _ } ->
+          Alcotest.(check bool) "move is a real move" true
+            (from_edge <> to_edge && dist > 0)
+      | Slicing.Cut_removed { reason; _ } ->
+          Alcotest.(check bool) "removal reason is a deactivation" true
+            (reason = Slicing.Mono || reason = Slicing.Dominated))
+    events
+
+let test_slicing_deactivation_monotone () =
+  (* statuses only go Active -> inactive; dominated intervals stay inside
+     the interval that dominated them *)
+  let inst = Instance.blocks ~n:48 ~ell:4 in
+  let rng = Rng.create 6 in
+  let s = Slicing.create inst (Rng.split rng) in
+  let statuses = Array.make (Slicing.interval_count s) Slicing.Active in
+  for _ = 1 to 3_000 do
+    let e = Rng.int rng 48 in
+    ignore (Slicing.serve s e);
+    Array.iteri
+      (fun id prev ->
+        let cur = Slicing.interval_status s id in
+        if prev <> Slicing.Active then
+          Alcotest.(check bool) "stays deactivated" true (cur = prev);
+        statuses.(id) <- cur)
+      statuses
+  done
+
+let test_slicing_request_counts () =
+  let inst = Instance.blocks ~n:16 ~ell:2 in
+  let s = Slicing.create inst (Rng.create 7) in
+  ignore (Slicing.serve s 3);
+  ignore (Slicing.serve s 3);
+  ignore (Slicing.serve s 9);
+  Alcotest.(check int) "x(3)" 2 (Slicing.request_count s 3);
+  Alcotest.(check int) "x(9)" 1 (Slicing.request_count s 9);
+  Alcotest.(check int) "x(0)" 0 (Slicing.request_count s 0)
+
+(* --- clustering ------------------------------------------------------ *)
+
+let test_clustering_create () =
+  let inst = Instance.blocks ~n:32 ~ell:4 in
+  let c = Clustering.create inst in
+  (match Clustering.check_consistency c with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "initial cuts live" 4 (List.length (Clustering.cut_edges c));
+  let out = Array.make 32 (-1) in
+  Clustering.assignment_into c out;
+  Alcotest.(check (array int)) "initial assignment preserved"
+    inst.Instance.initial out
+
+let test_clustering_single_server_ring () =
+  (* degenerate: everything on one server, no cuts *)
+  let inst = Instance.make ~n:4 ~ell:2 ~k:4 () in
+  let c = Clustering.create inst in
+  (match Clustering.check_consistency c with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check (list int)) "no cuts" [] (Clustering.cut_edges c)
+
+(* drive clustering directly with hand-crafted events to exercise the
+   structural paths: boundary move, merge (cut removal), split (a second
+   interval's cut arriving at a fresh position), whole-ring collapse and
+   re-rooting, duplicate cuts (multiset semantics) *)
+
+let mk_event_move ~from_edge ~to_edge ~dist =
+  Rbgp_core.Slicing.Cut_moved { id = 0; from_edge; to_edge; dist }
+
+let mk_event_remove ~edge =
+  Rbgp_core.Slicing.Cut_removed { id = 0; edge; reason = Rbgp_core.Slicing.Mono }
+
+let assert_consistent c ctx =
+  match Clustering.check_consistency c with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail (ctx ^ ": " ^ m)
+
+let test_clustering_boundary_move () =
+  let inst = Instance.blocks ~n:16 ~ell:2 in
+  let c = Clustering.create inst in
+  (* initial cuts at 7 and 15; move 7 -> 9: slice [0..7] grows to [0..9] *)
+  Clustering.apply_event c (mk_event_move ~from_edge:7 ~to_edge:9 ~dist:2);
+  assert_consistent c "after move";
+  Alcotest.(check (list int)) "cuts" [ 9; 15 ] (Clustering.cut_edges c);
+  Alcotest.(check int) "move cost" 2 (Clustering.move_cost c);
+  let out = Array.make 16 (-1) in
+  Clustering.assignment_into c out;
+  (* processes 8 and 9 joined server 0's slice; the slice is 10/16
+     0-colored, majority 0, was in color-0 cluster -> stays *)
+  Alcotest.(check int) "p8 on server 0" 0 out.(8);
+  Alcotest.(check int) "p9 on server 0" 0 out.(9);
+  Alcotest.(check int) "p10 stays on server 1" 1 out.(10)
+
+let test_clustering_merge_to_single_cut () =
+  let inst = Instance.blocks ~n:16 ~ell:2 in
+  let c = Clustering.create inst in
+  Clustering.apply_event c (mk_event_remove ~edge:7);
+  assert_consistent c "after merge";
+  Alcotest.(check (list int)) "one cut left" [ 15 ] (Clustering.cut_edges c);
+  (* both halves had size 8: the merge charges min(8,8) = 8 *)
+  Alcotest.(check int) "merge cost" 8 (Clustering.merge_cost c);
+  Alcotest.(check int) "single slice of the whole ring" 1
+    (List.length (Clustering.slices c))
+
+let test_clustering_whole_ring_collapse () =
+  (* removing every cut collapses the structure into a single whole-ring
+     slice; the assignment keeps every process on that slice's server *)
+  let inst = Instance.blocks ~n:16 ~ell:2 in
+  let c = Clustering.create inst in
+  Clustering.apply_event c (mk_event_remove ~edge:7);
+  Clustering.apply_event c (mk_event_remove ~edge:15);
+  assert_consistent c "no cuts";
+  Alcotest.(check (list int)) "no cuts" [] (Clustering.cut_edges c);
+  Alcotest.(check int) "one slice" 1 (List.length (Clustering.slices c));
+  let out = Array.make 16 (-1) in
+  Clustering.assignment_into c out;
+  Alcotest.(check bool) "all on one server" true
+    (Array.for_all (( = ) out.(0)) out)
+
+let test_clustering_duplicate_cuts () =
+  let inst = Instance.blocks ~n:16 ~ell:2 in
+  let c = Clustering.create inst in
+  (* a second interval's cut moves onto edge 7 (already cut), then the
+     first leaves: the position must stay a live cut throughout *)
+  Clustering.apply_event c (mk_event_move ~from_edge:15 ~to_edge:7 ~dist:8);
+  assert_consistent c "duplicate created";
+  Alcotest.(check (list int)) "both cuts collapse to one position" [ 7 ]
+    (Clustering.cut_edges c);
+  Clustering.apply_event c (mk_event_move ~from_edge:7 ~to_edge:11 ~dist:4);
+  assert_consistent c "one copy moved away";
+  Alcotest.(check (list int)) "positions 7 and 11 live" [ 7; 11 ]
+    (Clustering.cut_edges c)
+
+let test_clustering_singleton_birth () =
+  (* shrink a slice until it loses its 3/4 majority: it must leave the
+     color cluster and become a singleton (free) *)
+  let inst = Instance.blocks ~n:16 ~ell:2 in
+  let c = Clustering.create inst in
+  (* move cut 7 far into server 1's block: slice [0..13] is 8/14 zeros -
+     majority but not 3/4 - parent was color-0 cluster, so it stays;
+     then move past the majority threshold *)
+  Clustering.apply_event c (mk_event_move ~from_edge:7 ~to_edge:13 ~dist:6);
+  assert_consistent c "majority kept";
+  let kinds =
+    List.map (fun (_, cl) -> cl.Clustering.kind) (Clustering.slices c)
+  in
+  Alcotest.(check bool) "still color clusters" true
+    (List.for_all (function Clustering.Color _ -> true | _ -> false) kinds);
+  (* now the other boundary: make a slice with no majority *)
+  Clustering.apply_event c (mk_event_move ~from_edge:15 ~to_edge:5 ~dist:6);
+  assert_consistent c "after second move";
+  let singleton_count =
+    List.length
+      (List.filter
+         (fun (cl : Clustering.cluster) -> cl.Clustering.kind = Clustering.Singleton)
+         (Clustering.clusters c))
+  in
+  Alcotest.(check bool) "a singleton was born" true (singleton_count >= 1)
+
+(* qcheck: random valid event streams keep clustering consistent.  We use
+   the real slicing procedure as the event source but on random instances
+   and traces, which covers the product space far beyond the fixed-workload
+   runs below. *)
+let test_clustering_random_streams =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"clustering consistent on random slicing streams"
+       QCheck2.Gen.(
+         oneofl [ (16, 2); (24, 3); (32, 4) ] >>= fun (n, ell) ->
+         int_range 0 1000 >>= fun seed ->
+         list_size (int_range 50 300) (int_range 0 (n - 1)) >|= fun es ->
+         (n, ell, seed, Array.of_list es))
+       (fun (n, ell, seed, es) ->
+         let inst = Instance.blocks ~n ~ell in
+         let s = Slicing.create inst (Rng.create seed) in
+         let c = Clustering.create inst in
+         Array.for_all
+           (fun e ->
+             let events = Slicing.serve s e in
+             List.iter (Clustering.apply_event c) events;
+             match Clustering.check_consistency c with
+             | Ok () -> true
+             | Error _ -> false)
+           es))
+
+(* run the full static algorithm, checking clustering invariants and
+   cluster-size lemmas after every request *)
+let run_static_checked ~n ~ell ~steps ~seed ~trace_of =
+  let inst = Instance.blocks ~n ~ell in
+  let k = inst.Instance.k in
+  let rng = Rng.create seed in
+  let alg = Static_alg.create ~epsilon:0.5 inst (Rng.split rng) in
+  let online = Static_alg.online alg in
+  let trace = trace_of inst (Rng.split rng) in
+  let delta_bar = Static_alg.delta_bar alg in
+  let singleton_bound =
+    (3.0 +. (2.0 *. (1.0 -. delta_bar) /. delta_bar)) *. float_of_int k
+  in
+  let check_invariants step =
+    let c = Static_alg.clustering alg in
+    (match Clustering.check_consistency c with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail (Printf.sprintf "step %d: %s" step m));
+    List.iter
+      (fun (cl : Clustering.cluster) ->
+        match cl.Clustering.kind with
+        | Clustering.Color _ ->
+            (* Lemma 4.12 *)
+            if cl.Clustering.size > 2 * k then
+              Alcotest.fail
+                (Printf.sprintf "step %d: color cluster size %d > 2k" step
+                   cl.Clustering.size)
+        | Clustering.Singleton ->
+            (* Corollary 4.10 *)
+            if float_of_int cl.Clustering.size > singleton_bound +. 1e-9 then
+              Alcotest.fail
+                (Printf.sprintf "step %d: singleton size %d > bound %.1f" step
+                   cl.Clustering.size singleton_bound))
+      (Clustering.clusters c)
+  in
+  let r =
+    Simulator.run
+      ~on_step:(fun step _ -> if step mod 20 = 0 then check_invariants step)
+      inst online trace ~steps
+  in
+  check_invariants steps;
+  (inst, alg, r)
+
+let test_static_invariants_uniform () =
+  ignore
+    (run_static_checked ~n:64 ~ell:4 ~steps:4_000 ~seed:11
+       ~trace_of:(fun inst rng ->
+         Rbgp_workloads.Workloads.uniform ~n:inst.Instance.n ~steps:4_000 rng))
+
+let test_static_invariants_rotating () =
+  ignore
+    (run_static_checked ~n:64 ~ell:4 ~steps:4_000 ~seed:12
+       ~trace_of:(fun inst rng ->
+         Rbgp_workloads.Workloads.rotating ~n:inst.Instance.n ~steps:4_000 rng))
+
+let test_static_invariants_zipf () =
+  ignore
+    (run_static_checked ~n:96 ~ell:6 ~steps:4_000 ~seed:13
+       ~trace_of:(fun inst rng ->
+         Rbgp_workloads.Workloads.zipf ~n:inst.Instance.n ~steps:4_000 rng))
+
+let test_static_invariants_adversarial () =
+  let inst = Instance.blocks ~n:64 ~ell:4 in
+  let rng = Rng.create 14 in
+  let alg = Static_alg.create ~epsilon:0.5 inst (Rng.split rng) in
+  let r =
+    Simulator.run inst (Static_alg.online alg)
+      (Rbgp_workloads.Workloads.adversary_cut_chaser ~n:64)
+      ~steps:4_000
+  in
+  Alcotest.(check int) "no violations under the chaser" 0
+    r.Simulator.capacity_violations;
+  match Clustering.check_consistency (Static_alg.clustering alg) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* --- static algorithm end-to-end ------------------------------------- *)
+
+let test_static_load_bound () =
+  let _, _, r =
+    run_static_checked ~n:128 ~ell:8 ~steps:6_000 ~seed:15
+      ~trace_of:(fun inst rng ->
+        Rbgp_workloads.Workloads.hotspot ~n:inst.Instance.n ~steps:6_000 rng)
+  in
+  Alcotest.(check int) "no capacity violations (Lemma 4.13)" 0
+    r.Simulator.capacity_violations
+
+let test_static_strict_on_cheap_traces () =
+  (* requests that never leave a server's block: the algorithm must pay
+     nothing at all (strict competitiveness, Theorem 2.2) *)
+  let inst = Instance.blocks ~n:64 ~ell:4 in
+  let alg = Static_alg.create ~epsilon:0.5 inst (Rng.create 16) in
+  let trace = Array.init 2_000 (fun i -> 1 + (i mod 10)) in
+  let r =
+    Simulator.run inst (Static_alg.online alg) (Trace.fixed trace)
+      ~steps:2_000
+  in
+  Alcotest.(check int) "zero cost on block-internal demand" 0
+    (Cost.total r.Simulator.cost)
+
+let test_static_deterministic_by_seed () =
+  let run () =
+    let inst = Instance.blocks ~n:64 ~ell:4 in
+    let rng = Rng.create 99 in
+    let alg = Static_alg.create ~epsilon:0.5 inst (Rng.split rng) in
+    let trace =
+      Rbgp_workloads.Workloads.uniform ~n:64 ~steps:2_000 (Rng.split rng)
+    in
+    let r = Simulator.run inst (Static_alg.online alg) trace ~steps:2_000 in
+    (r.Simulator.cost.Cost.comm, r.Simulator.cost.Cost.mig)
+  in
+  Alcotest.(check (pair int int)) "reproducible" (run ()) (run ())
+
+let test_static_comm_dominated_by_hits () =
+  (* every billed communication crosses a live cut, and every live cut
+     belongs to an active interval, so simulator comm <= slicing hit cost *)
+  let inst = Instance.blocks ~n:64 ~ell:4 in
+  let rng = Rng.create 17 in
+  let alg = Static_alg.create ~epsilon:0.5 inst (Rng.split rng) in
+  let trace = Rbgp_workloads.Workloads.uniform ~n:64 ~steps:4_000 (Rng.split rng) in
+  let r = Simulator.run inst (Static_alg.online alg) trace ~steps:4_000 in
+  Alcotest.(check bool) "comm <= slicing hits" true
+    (float_of_int r.Simulator.cost.Cost.comm
+    <= Slicing.hit_cost (Static_alg.slicing alg) +. 1e-9)
+
+let test_static_cost_counters () =
+  let inst = Instance.blocks ~n:64 ~ell:4 in
+  let rng = Rng.create 18 in
+  let alg = Static_alg.create ~epsilon:0.5 inst (Rng.split rng) in
+  let trace = Rbgp_workloads.Workloads.zipf ~n:64 ~steps:3_000 (Rng.split rng) in
+  ignore (Simulator.run inst (Static_alg.online alg) trace ~steps:3_000);
+  let c = Static_alg.clustering alg in
+  Alcotest.(check bool) "counters non-negative" true
+    (Clustering.move_cost c >= 0
+    && Clustering.merge_cost c >= 0
+    && Clustering.mono_cost c >= 0
+    && Static_alg.rebalance_cost alg >= 0);
+  (* slicing's move counter equals clustering's (they see the same events) *)
+  Alcotest.(check (float 1e-9)) "move counters agree"
+    (Slicing.move_cost (Static_alg.slicing alg))
+    (float_of_int (Clustering.move_cost c))
+
+let test_static_augmentation_formula () =
+  let inst = Instance.blocks ~n:64 ~ell:4 in
+  let alg = Static_alg.create ~epsilon:0.5 inst (Rng.create 19) in
+  let eps' = Static_alg.eps' alg in
+  Alcotest.(check (float 1e-9)) "eps' = eps/2" 0.25 eps';
+  let db = Static_alg.delta_bar alg in
+  Alcotest.(check (float 1e-9)) "delta_bar default" (14.0 /. 15.0) db;
+  Alcotest.(check bool) "augmentation >= 3" true (Static_alg.augmentation alg >= 3.0)
+
+(* --- scheduling in isolation ------------------------------------------ *)
+
+let mk_cluster cid size server =
+  { Clustering.cid; kind = Clustering.Singleton; size; server }
+
+let test_scheduling_rebalance () =
+  let inst = Instance.blocks ~n:64 ~ell:4 in
+  (* k = 16; put 3 clusters of 20 on server 0: load 60 > (2 + eps') * 16 *)
+  let sched = Scheduling.create inst ~eps':0.5 in
+  let clusters =
+    [ mk_cluster 0 20 0; mk_cluster 1 20 0; mk_cluster 2 20 0;
+      mk_cluster 3 4 1 ]
+  in
+  Scheduling.rebalance sched clusters;
+  let loads = Scheduling.loads sched clusters in
+  let x_max = 20 in
+  let threshold = Scheduling.threshold sched ~x_max in
+  Array.iteri
+    (fun s load ->
+      Alcotest.(check bool)
+        (Printf.sprintf "server %d load %d within threshold" s load)
+        true
+        (float_of_int load <= threshold +. 1e-9))
+    loads;
+  Alcotest.(check bool) "rebalancing paid for moves" true
+    (Scheduling.rebalance_cost sched > 0)
+
+let test_scheduling_noop_when_balanced () =
+  let inst = Instance.blocks ~n:64 ~ell:4 in
+  let sched = Scheduling.create inst ~eps':0.5 in
+  let clusters = List.init 4 (fun s -> mk_cluster s 16 s) in
+  Scheduling.rebalance sched clusters;
+  Alcotest.(check int) "no moves needed" 0 (Scheduling.rebalance_cost sched)
+
+let test_scheduling_huge_cluster () =
+  let inst = Instance.blocks ~n:64 ~ell:4 in
+  (* k = 16; a cluster of 40 (> k) shares a server with another: the
+     eviction path must fire *)
+  let sched = Scheduling.create inst ~eps':0.5 in
+  let clusters =
+    [ mk_cluster 0 40 0; mk_cluster 1 14 0; mk_cluster 2 5 1; mk_cluster 3 5 2 ]
+  in
+  Scheduling.rebalance sched clusters;
+  let loads = Scheduling.loads sched clusters in
+  let threshold = Scheduling.threshold sched ~x_max:40 in
+  Array.iter
+    (fun load ->
+      Alcotest.(check bool) "within threshold" true
+        (float_of_int load <= threshold +. 1e-9))
+    loads
+
+let test_scheduling_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300
+       ~name:"rebalance restores the bound on random cluster configurations"
+       QCheck2.Gen.(
+         oneofl [ (64, 4); (128, 8) ] >>= fun (n, ell) ->
+         let k = n / ell in
+         (* random clusters summing to n, sizes in [1, 3k], random servers *)
+         let rec split remaining acc =
+           if remaining = 0 then return acc
+           else
+             int_range 1 (min remaining (3 * k)) >>= fun size ->
+             int_range 0 (ell - 1) >>= fun server ->
+             split (remaining - size) ((size, server) :: acc)
+         in
+         split n [] >|= fun clusters -> (n, ell, clusters))
+       (fun (n, ell, cluster_specs) ->
+         let inst = Instance.blocks ~n ~ell in
+         let k = n / ell in
+         let sched = Scheduling.create inst ~eps':0.5 in
+         let clusters =
+           List.mapi
+             (fun i (size, server) -> mk_cluster i size server)
+             cluster_specs
+         in
+         Scheduling.rebalance sched clusters;
+         let loads = Scheduling.loads sched clusters in
+         let x_max =
+           List.fold_left
+             (fun acc (c : Clustering.cluster) -> max acc c.Clustering.size)
+             0 clusters
+         in
+         let threshold = Scheduling.threshold sched ~x_max in
+         let sum = Array.fold_left ( + ) 0 loads in
+         ignore k;
+         sum = n
+         && Array.for_all
+              (fun load -> float_of_int load <= threshold +. 1e-9)
+              loads))
+
+let () =
+  Alcotest.run "rbgp_core_static"
+    [
+      ( "slicing",
+        [
+          Alcotest.test_case "initial intervals" `Quick test_slicing_initial;
+          Alcotest.test_case "requires n > k" `Quick test_slicing_requires_split;
+          Alcotest.test_case "cut inside interval" `Quick
+            test_slicing_cut_inside_interval;
+          Alcotest.test_case "interval sizes" `Quick test_slicing_interval_sizes;
+          Alcotest.test_case "rank growth" `Quick test_slicing_rank_growth;
+          Alcotest.test_case "event sanity" `Quick test_slicing_event_sanity;
+          Alcotest.test_case "deactivation monotone" `Quick
+            test_slicing_deactivation_monotone;
+          Alcotest.test_case "request counts" `Quick test_slicing_request_counts;
+        ] );
+      ( "clustering",
+        [
+          Alcotest.test_case "create" `Quick test_clustering_create;
+          Alcotest.test_case "single-server ring" `Quick
+            test_clustering_single_server_ring;
+          Alcotest.test_case "boundary move" `Quick test_clustering_boundary_move;
+          Alcotest.test_case "merge to single cut" `Quick
+            test_clustering_merge_to_single_cut;
+          Alcotest.test_case "whole-ring collapse" `Quick
+            test_clustering_whole_ring_collapse;
+          Alcotest.test_case "duplicate cuts (multiset)" `Quick
+            test_clustering_duplicate_cuts;
+          Alcotest.test_case "singleton birth" `Quick test_clustering_singleton_birth;
+          test_clustering_random_streams;
+          Alcotest.test_case "invariants under uniform" `Quick
+            test_static_invariants_uniform;
+          Alcotest.test_case "invariants under rotating" `Quick
+            test_static_invariants_rotating;
+          Alcotest.test_case "invariants under zipf" `Quick
+            test_static_invariants_zipf;
+          Alcotest.test_case "invariants under adversary" `Quick
+            test_static_invariants_adversarial;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "rebalance restores bound" `Quick
+            test_scheduling_rebalance;
+          Alcotest.test_case "no-op when balanced" `Quick
+            test_scheduling_noop_when_balanced;
+          Alcotest.test_case "huge cluster eviction" `Quick
+            test_scheduling_huge_cluster;
+          test_scheduling_random;
+        ] );
+      ( "static-alg",
+        [
+          Alcotest.test_case "load bound (Lemma 4.13)" `Quick
+            test_static_load_bound;
+          Alcotest.test_case "strict on cheap traces" `Quick
+            test_static_strict_on_cheap_traces;
+          Alcotest.test_case "deterministic by seed" `Quick
+            test_static_deterministic_by_seed;
+          Alcotest.test_case "comm dominated by hits" `Quick
+            test_static_comm_dominated_by_hits;
+          Alcotest.test_case "cost counters" `Quick test_static_cost_counters;
+          Alcotest.test_case "augmentation formula" `Quick
+            test_static_augmentation_formula;
+        ] );
+    ]

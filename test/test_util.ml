@@ -1,0 +1,469 @@
+(* Unit and property tests for Rbgp_util: the PRNG, the smooth-minimum
+   machinery of Appendix A, finite distributions with couplings, and the
+   statistics helpers.  The smin tests check the appendix's inequalities
+   (Fact A.1, Lemmas A.2 and A.3) numerically on random vectors — these
+   inequalities carry the whole randomized analysis, so they get the
+   heaviest property coverage. *)
+
+module Rng = Rbgp_util.Rng
+module Smin = Rbgp_util.Smin
+module Dist = Rbgp_util.Dist
+module Stats = Rbgp_util.Stats
+
+let check = Alcotest.check
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Rng ------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_copy () =
+  let a = Rng.create 5 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "copy matches" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_diverges () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_uniform () =
+  let rng = Rng.create 2 in
+  let buckets = Array.make 8 0 in
+  let trials = 80_000 in
+  for _ = 1 to trials do
+    let v = Rng.int rng 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  let expected = trials / 8 in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d near uniform" i)
+        true
+        (abs (c - expected) < expected / 5))
+    buckets
+
+let test_rng_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 4 in
+  let a = Array.init 20 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "still a permutation" (Array.init 20 (fun i -> i)) sorted
+
+let test_rng_geometric () =
+  let rng = Rng.create 6 in
+  let total = ref 0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    let v = Rng.geometric rng 0.5 in
+    Alcotest.(check bool) "non-negative" true (v >= 0);
+    total := !total + v
+  done;
+  (* mean of failures-before-success at p = 1/2 is 1 *)
+  let mean = float_of_int !total /. float_of_int trials in
+  Alcotest.(check bool) "mean near 1" true (Float.abs (mean -. 1.0) < 0.1)
+
+let test_rng_exponential () =
+  let rng = Rng.create 8 in
+  let total = ref 0.0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    let v = Rng.exponential rng 2.0 in
+    Alcotest.(check bool) "positive" true (v >= 0.0);
+    total := !total +. v
+  done;
+  let mean = !total /. float_of_int trials in
+  Alcotest.(check bool) "mean near 1/2" true (Float.abs (mean -. 0.5) < 0.05)
+
+(* --- Smin ------------------------------------------------------------ *)
+
+let vec_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 40) (float_bound_inclusive 100.0) >|= Array.of_list)
+
+let min_arr x = Array.fold_left Float.min x.(0) x
+
+let test_smin_bounds =
+  qtest "smin: min - ln n <= smin <= min (Fact A.1 i)" vec_gen (fun x ->
+      let s = Smin.smin x and m = min_arr x in
+      let n = float_of_int (Array.length x) in
+      s <= m +. 1e-9 && s >= m -. log n -. 1e-9)
+
+let test_smin_grad_dist =
+  qtest "smin: gradient is a distribution (Fact A.1 ii)" vec_gen (fun x ->
+      let g = Smin.grad x in
+      let sum = Array.fold_left ( +. ) 0.0 g in
+      Array.for_all (fun v -> v >= 0.0) g && Float.abs (sum -. 1.0) < 1e-9)
+
+let pair_gen =
+  QCheck2.Gen.(
+    int_range 1 30 >>= fun n ->
+    let fvec hi = array_size (return n) (float_bound_inclusive hi) in
+    pair (fvec 50.0) (fvec 1.0))
+
+let test_smin_growth =
+  qtest "smin: smin(x+l) - smin(x) >= grad(x).l / 2 (Lemma A.2 i)" pair_gen
+    (fun (x, l) ->
+      let xl = Array.mapi (fun i v -> v +. l.(i)) x in
+      let lhs = Smin.smin xl -. Smin.smin x in
+      let g = Smin.grad x in
+      let dot = ref 0.0 in
+      Array.iteri (fun i gi -> dot := !dot +. (gi *. l.(i))) g;
+      lhs >= (0.5 *. !dot) -. 1e-9)
+
+let test_smin_grad_stability =
+  qtest "smin: |grad(x+l) - grad(x)|_1 <= 2 grad(x).l (Lemma A.2 ii)" pair_gen
+    (fun (x, l) ->
+      let xl = Array.mapi (fun i v -> v +. l.(i)) x in
+      let g = Smin.grad x and g' = Smin.grad xl in
+      let l1 = ref 0.0 and dot = ref 0.0 in
+      Array.iteri
+        (fun i gi ->
+          l1 := !l1 +. Float.abs (g'.(i) -. gi);
+          dot := !dot +. (gi *. l.(i)))
+        g;
+      !l1 <= (2.0 *. !dot) +. 1e-9)
+
+let scaled_gen = QCheck2.Gen.(pair vec_gen (float_range 1.0 20.0))
+
+let test_smin_c_bounds =
+  qtest "smin_c: min - c ln n <= smin_c <= min (Lemma A.3 i)" scaled_gen
+    (fun (x, c) ->
+      let s = Smin.smin_c ~c x and m = min_arr x in
+      let n = float_of_int (Array.length x) in
+      s <= m +. 1e-9 && s >= m -. (c *. log n) -. 1e-9)
+
+let test_smin_c_grad_stability =
+  qtest "smin_c: L1 drift <= (2/c) grad.l (Lemma A.3 iv)"
+    QCheck2.Gen.(pair pair_gen (float_range 1.0 20.0))
+    (fun ((x, l), c) ->
+      let xl = Array.mapi (fun i v -> v +. l.(i)) x in
+      let g = Smin.grad_c ~c x and g' = Smin.grad_c ~c xl in
+      let l1 = ref 0.0 and dot = ref 0.0 in
+      Array.iteri
+        (fun i gi ->
+          l1 := !l1 +. Float.abs (g'.(i) -. gi);
+          dot := !dot +. (gi *. l.(i)))
+        g;
+      !l1 <= (2.0 /. c *. !dot) +. 1e-9)
+
+let test_smin_sub_consistency =
+  qtest "smin_sub/grad_sub agree with explicit slices"
+    QCheck2.Gen.(
+      vec_gen >>= fun x ->
+      let n = Array.length x in
+      int_range 0 (n - 1) >>= fun lo ->
+      int_range lo (n - 1) >|= fun hi -> (x, lo, hi))
+    (fun (x, lo, hi) ->
+      let slice = Array.sub x lo (hi - lo + 1) in
+      let c = 3.0 in
+      let direct = Smin.smin_c ~c slice in
+      let sub = Smin.smin_sub ~c x ~lo ~hi in
+      let g1 = Smin.grad_c ~c slice in
+      let g2 = Array.make (hi - lo + 1) 0.0 in
+      Smin.grad_sub_into ~c x ~lo ~hi g2;
+      Float.abs (direct -. sub) < 1e-9
+      && Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) g1 g2)
+
+let test_smin_huge_counts () =
+  (* numerical stability: counters in the millions must not overflow *)
+  let x = [| 1e7; 2e7; 1e7 +. 3.0 |] in
+  let s = Smin.smin x in
+  Alcotest.(check bool) "finite" true (Float.is_finite s);
+  let g = Smin.grad x in
+  Alcotest.(check bool) "gradient concentrates on minimum" true (g.(0) > 0.9)
+
+(* --- Dist ------------------------------------------------------------ *)
+
+let weights_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 30) (float_range 0.01 10.0) >|= Array.of_list)
+
+let test_dist_normalized =
+  qtest "dist: of_weights normalizes" weights_gen (fun w ->
+      let d = Dist.of_weights w in
+      let sum = Array.fold_left ( +. ) 0.0 (Dist.to_array d) in
+      Float.abs (sum -. 1.0) < 1e-9)
+
+let test_dist_sample_support () =
+  let rng = Rng.create 10 in
+  let d = Dist.of_weights [| 0.0; 1.0; 0.0; 2.0; 0.0 |] in
+  for _ = 1 to 5_000 do
+    let s = Dist.sample rng d in
+    Alcotest.(check bool) "only support sampled" true (s = 1 || s = 3)
+  done
+
+let test_dist_sample_frequencies () =
+  let rng = Rng.create 11 in
+  let d = Dist.of_weights [| 1.0; 2.0; 3.0; 4.0 |] in
+  let counts = Array.make 4 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    let s = Dist.sample rng d in
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expect = Dist.prob d i *. float_of_int trials in
+      Alcotest.(check bool)
+        (Printf.sprintf "freq %d" i)
+        true
+        (Float.abs (float_of_int c -. expect) < 0.06 *. float_of_int trials))
+    counts
+
+let test_coupling_marginal () =
+  (* if current ~ old, the coupled resample must be distributed as new *)
+  let rng = Rng.create 12 in
+  let old_d = Dist.of_weights [| 4.0; 1.0; 1.0; 2.0 |] in
+  let new_d = Dist.of_weights [| 1.0; 3.0; 2.0; 2.0 |] in
+  let counts = Array.make 4 0 in
+  let trials = 200_000 in
+  for _ = 1 to trials do
+    let cur = Dist.sample rng old_d in
+    let nxt = Dist.resample_coupled rng ~current:cur ~old_dist:old_d ~new_dist:new_d in
+    counts.(nxt) <- counts.(nxt) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expect = Dist.prob new_d i *. float_of_int trials in
+      Alcotest.(check bool)
+        (Printf.sprintf "marginal %d" i)
+        true
+        (Float.abs (float_of_int c -. expect) < 0.02 *. float_of_int trials))
+    counts
+
+let test_coupling_movement () =
+  (* probability of moving equals the total-variation distance *)
+  let rng = Rng.create 13 in
+  let old_d = Dist.of_weights [| 4.0; 1.0; 1.0; 2.0 |] in
+  let new_d = Dist.of_weights [| 1.0; 3.0; 2.0; 2.0 |] in
+  let moved = ref 0 in
+  let trials = 200_000 in
+  for _ = 1 to trials do
+    let cur = Dist.sample rng old_d in
+    let nxt = Dist.resample_coupled rng ~current:cur ~old_dist:old_d ~new_dist:new_d in
+    if nxt <> cur then incr moved
+  done;
+  let tv = Dist.tv_distance old_d new_d in
+  let freq = float_of_int !moved /. float_of_int trials in
+  Alcotest.(check bool) "move prob = tv distance" true (Float.abs (freq -. tv) < 0.01)
+
+let dist_pair_gen =
+  QCheck2.Gen.(
+    int_range 2 20 >>= fun n ->
+    let w = array_size (return n) (float_range 0.01 5.0) in
+    pair w w)
+
+let test_tv_l1 =
+  qtest "dist: tv = l1 / 2, metric properties" dist_pair_gen (fun (a, b) ->
+      let da = Dist.of_weights a and db = Dist.of_weights b in
+      let tv = Dist.tv_distance da db in
+      Float.abs ((2.0 *. tv) -. Dist.l1_distance da db) < 1e-9
+      && tv >= 0.0 && tv <= 1.0 +. 1e-9
+      && Dist.tv_distance da da < 1e-12)
+
+let test_earthmover_points () =
+  let n = 10 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let d = Dist.earthmover_line (Dist.point i ~n) (Dist.point j ~n) in
+      checkf "em of point masses" (float_of_int (abs (i - j))) d
+    done
+  done
+
+let test_earthmover_vs_tv =
+  qtest "dist: tv <= earthmover <= (n-1) * tv" dist_pair_gen (fun (a, b) ->
+      let da = Dist.of_weights a and db = Dist.of_weights b in
+      let em = Dist.earthmover_line da db in
+      let tv = Dist.tv_distance da db in
+      let n = float_of_int (Array.length a) in
+      em >= tv -. 1e-9 && em <= ((n -. 1.0) *. tv) +. 1e-9)
+
+let test_expectation () =
+  let d = Dist.of_weights [| 1.0; 1.0; 2.0 |] in
+  checkf "expectation" 1.25 (Dist.expectation d float_of_int)
+
+(* --- Union_find ------------------------------------------------------ *)
+
+module Uf = Rbgp_util.Union_find
+
+let test_uf_basic () =
+  let uf = Uf.create 8 in
+  Alcotest.(check int) "initial components" 8 (Uf.components uf);
+  ignore (Uf.union uf 0 1);
+  ignore (Uf.union uf 2 3);
+  Alcotest.(check bool) "joined" true (Uf.same uf 0 1);
+  Alcotest.(check bool) "separate" false (Uf.same uf 1 2);
+  ignore (Uf.union uf 1 3);
+  Alcotest.(check bool) "transitively joined" true (Uf.same uf 0 2);
+  Alcotest.(check int) "sizes" 4 (Uf.size uf 3);
+  Alcotest.(check int) "components" 5 (Uf.components uf);
+  Alcotest.(check (list int)) "members" [ 0; 1; 2; 3 ] (Uf.members uf 0)
+
+let test_uf_props =
+  qtest ~count:200 "union-find: sizes sum to n, same is an equivalence"
+    QCheck2.Gen.(
+      int_range 2 30 >>= fun n ->
+      list_size (int_range 0 60) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      >|= fun ops -> (n, ops))
+    (fun (n, ops) ->
+      let uf = Uf.create n in
+      List.iter (fun (a, b) -> ignore (Uf.union uf a b)) ops;
+      let roots = Hashtbl.create 8 in
+      for i = 0 to n - 1 do
+        let r = Uf.find uf i in
+        Hashtbl.replace roots r (1 + Option.value ~default:0 (Hashtbl.find_opt roots r))
+      done;
+      let total = Hashtbl.fold (fun _ c acc -> acc + c) roots 0 in
+      let sizes_ok =
+        Hashtbl.fold
+          (fun r c acc -> acc && Uf.size uf r = c)
+          roots true
+      in
+      total = n && sizes_ok && Hashtbl.length roots = Uf.components uf)
+
+(* --- Stats ----------------------------------------------------------- *)
+
+let test_stats_basic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  checkf "mean" 2.5 (Stats.mean xs);
+  checkf "variance" (5.0 /. 3.0) (Stats.variance xs);
+  checkf "median" 2.5 (Stats.median xs);
+  checkf "q0" 1.0 (Stats.quantile xs 0.0);
+  checkf "q1" 4.0 (Stats.quantile xs 1.0);
+  checkf "min" 1.0 (Stats.min xs);
+  checkf "max" 4.0 (Stats.max xs)
+
+let test_linear_fit () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in
+  let f = Stats.linear_fit xs ys in
+  checkf "slope" 2.0 f.Stats.slope;
+  checkf "intercept" 1.0 f.Stats.intercept;
+  checkf "r2" 1.0 f.Stats.r2
+
+let test_loglog_fit () =
+  let xs = [| 1.0; 2.0; 4.0; 8.0; 16.0 |] in
+  let ys = Array.map (fun x -> 3.0 *. x *. x) xs in
+  let f = Stats.loglog_fit xs ys in
+  checkf "exponent" 2.0 f.Stats.slope
+
+let test_log_x_fit () =
+  let xs = [| 2.0; 4.0; 8.0; 16.0 |] in
+  let ys = Array.map (fun x -> 5.0 *. log x) xs in
+  let f = Stats.log_x_fit xs ys in
+  checkf "log slope" 5.0 f.Stats.slope
+
+(* --- Tbl ------------------------------------------------------------- *)
+
+let test_tbl_render () =
+  let t = Rbgp_util.Tbl.create ~headers:[ "name"; "value" ] in
+  Rbgp_util.Tbl.add_row t [ "alpha"; "1.5" ];
+  Rbgp_util.Tbl.add_rule t;
+  Rbgp_util.Tbl.add_row t [ "beta"; "2" ];
+  let s = Rbgp_util.Tbl.render t in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has header and rows" true
+    (contains "name" s && contains "alpha" s && contains "beta" s)
+
+let test_tbl_bad_row () =
+  let t = Rbgp_util.Tbl.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Tbl.add_row: wrong number of cells")
+    (fun () -> Rbgp_util.Tbl.add_row t [ "only-one" ])
+
+let test_tbl_cells () =
+  Alcotest.(check string) "int-like float" "3" (Rbgp_util.Tbl.cell_f 3.0);
+  Alcotest.(check string) "fractional" "3.142" (Rbgp_util.Tbl.cell_f 3.1415);
+  Alcotest.(check string) "int" "42" (Rbgp_util.Tbl.cell_i 42)
+
+let () =
+  Alcotest.run "rbgp_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "split diverges" `Quick test_rng_split_diverges;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int uniform" `Quick test_rng_int_uniform;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "geometric" `Quick test_rng_geometric;
+          Alcotest.test_case "exponential" `Quick test_rng_exponential;
+        ] );
+      ( "smin",
+        [
+          test_smin_bounds;
+          test_smin_grad_dist;
+          test_smin_growth;
+          test_smin_grad_stability;
+          test_smin_c_bounds;
+          test_smin_c_grad_stability;
+          test_smin_sub_consistency;
+          Alcotest.test_case "huge counts stable" `Quick test_smin_huge_counts;
+        ] );
+      ( "dist",
+        [
+          test_dist_normalized;
+          Alcotest.test_case "sample support" `Quick test_dist_sample_support;
+          Alcotest.test_case "sample frequencies" `Quick test_dist_sample_frequencies;
+          Alcotest.test_case "coupling marginal" `Quick test_coupling_marginal;
+          Alcotest.test_case "coupling movement" `Quick test_coupling_movement;
+          test_tv_l1;
+          Alcotest.test_case "earthmover points" `Quick test_earthmover_points;
+          test_earthmover_vs_tv;
+          Alcotest.test_case "expectation" `Quick test_expectation;
+        ] );
+      ( "union-find",
+        [
+          Alcotest.test_case "basic" `Quick test_uf_basic;
+          test_uf_props;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "linear fit" `Quick test_linear_fit;
+          Alcotest.test_case "loglog fit" `Quick test_loglog_fit;
+          Alcotest.test_case "log-x fit" `Quick test_log_x_fit;
+        ] );
+      ( "tbl",
+        [
+          Alcotest.test_case "render" `Quick test_tbl_render;
+          Alcotest.test_case "bad row" `Quick test_tbl_bad_row;
+          Alcotest.test_case "cells" `Quick test_tbl_cells;
+        ] );
+    ]
