@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples clean
+.PHONY: all build test bench bench-json experiments examples clean
 
 all: build
 
@@ -16,6 +16,12 @@ test-log:
 
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+# the bench run also writes the machine-readable trajectory file
+# (BENCH_1.json: component ns/run + r^2, per-experiment wall clock,
+# parallel-vs-sequential speedup); this target just validates it parses
+bench-json: bench
+	@python3 -c "import json; json.load(open('BENCH_1.json')); print('BENCH_1.json: valid JSON')"
 
 experiments:
 	dune exec bin/rbgp_cli.exe -- exp all | tee experiments_full.txt

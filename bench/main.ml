@@ -9,7 +9,15 @@
    2. the experiment tables E1-E10 (the reproduction's stand-in for the
       paper's evaluation section), regenerated in quick mode so that a
       single `dune exec bench/main.exe` reproduces every reported table.
-      Run `rbgp exp <id>` (without --quick) for the full-size versions. *)
+      Run `rbgp exp <id>` (without --quick) for the full-size versions.
+
+   Besides the human-readable tables the run writes BENCH_1.json next to
+   the current directory: component ns/run + r^2, wall-clock seconds per
+   quick-mode experiment, and a parallel-vs-sequential E8 comparison
+   (speedup plus a byte-identity check of the two outputs).  The numeric
+   suffix is the bench-trajectory slot for this change set; later change
+   sets append BENCH_2.json, BENCH_3.json, ... so the files form a
+   machine-readable performance history of the repository. *)
 
 open Bechamel
 open Toolkit
@@ -128,35 +136,146 @@ let run_benchmarks () =
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort compare rows in
   let tbl = Rbgp_util.Tbl.create ~headers:[ "benchmark"; "time/run"; "r2" ] in
-  List.iter
-    (fun (name, ols) ->
-      let est =
-        match Analyze.OLS.estimates ols with
-        | Some (e :: _) -> e
-        | _ -> Float.nan
-      in
-      let human t =
-        if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
-        else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
-        else Printf.sprintf "%.0f ns" t
-      in
-      Rbgp_util.Tbl.add_row tbl
-        [
-          name;
-          human est;
-          (match Analyze.OLS.r_square ols with
-          | Some r -> Printf.sprintf "%.3f" r
-          | None -> "-");
-        ])
-    rows;
+  let components =
+    List.map
+      (fun (name, ols) ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | _ -> Float.nan
+        in
+        let r2 = Analyze.OLS.r_square ols in
+        let human t =
+          if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+          else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+          else Printf.sprintf "%.0f ns" t
+        in
+        Rbgp_util.Tbl.add_row tbl
+          [
+            name;
+            human est;
+            (match r2 with Some r -> Printf.sprintf "%.3f" r | None -> "-");
+          ];
+        (name, est, r2))
+      rows
+  in
   print_endline "component micro-benchmarks (bechamel, OLS estimates):";
-  Rbgp_util.Tbl.print tbl
+  Rbgp_util.Tbl.print tbl;
+  components
+
+(* --- machine-readable trajectory ----------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON numbers must be finite; bechamel occasionally reports nan r^2 *)
+let json_num v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+
+(* redirect stdout to [path] while [f] runs (the experiment tables print
+   directly); used both to time table generation quietly and to compare
+   sequential vs parallel output byte for byte *)
+let with_stdout_to path f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  Fun.protect f ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    (fun () -> really_input_string ic (in_channel_length ic))
+    ~finally:(fun () -> close_in ic)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* E8 quick, sequential vs RBGP_DOMAINS-style fan-out: report wall-clock
+   speedup and check the outputs are byte-identical (the pool's key
+   guarantee).  On a single-core box the speedup hovers around 1.0. *)
+let parallel_check () =
+  let run_with domains path =
+    Rbgp_util.Pool.set_domains (Some domains);
+    let (), dt =
+      timed (fun () ->
+          with_stdout_to path (fun () ->
+              Rbgp_harness.Report.run ~quick:true ~seed:42 "e8"))
+    in
+    Rbgp_util.Pool.set_domains None;
+    (read_file path, dt)
+  in
+  let seq_out, seq_dt = run_with 1 (Filename.temp_file "rbgp_e8_seq" ".txt") in
+  let par_out, par_dt = run_with 4 (Filename.temp_file "rbgp_e8_par" ".txt") in
+  let identical = String.equal seq_out par_out in
+  Printf.printf
+    "parallel check (E8 quick): sequential %.2fs, 4 domains %.2fs, speedup \
+     %.2fx, outputs %s\n"
+    seq_dt par_dt (seq_dt /. par_dt)
+    (if identical then "identical" else "DIFFERENT");
+  (seq_dt, par_dt, identical)
+
+let write_bench_json ~components ~experiments
+    ~parallel:(seq_dt, par_dt, identical) =
+  let oc = open_out "BENCH_1.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"schema\": \"rbgp-bench/1\",\n";
+  out "  \"components\": [\n";
+  List.iteri
+    (fun i (name, ns, r2) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r2\": %s}%s\n"
+        (json_escape name) (json_num ns)
+        (match r2 with Some r -> json_num r | None -> "null")
+        (if i < List.length components - 1 then "," else ""))
+    components;
+  out "  ],\n  \"experiments\": [\n";
+  List.iteri
+    (fun i (id, dt) ->
+      out "    {\"id\": \"%s\", \"quick_seconds\": %s}%s\n" (json_escape id)
+        (json_num dt)
+        (if i < List.length experiments - 1 then "," else ""))
+    experiments;
+  out "  ],\n";
+  out
+    "  \"parallel\": {\"experiment\": \"e8\", \"domains\": 4, \
+     \"seq_seconds\": %s, \"par_seconds\": %s, \"speedup\": %s, \
+     \"identical\": %b}\n"
+    (json_num seq_dt) (json_num par_dt)
+    (json_num (seq_dt /. par_dt))
+    identical;
+  out "}\n";
+  close_out oc;
+  print_endline "wrote BENCH_1.json"
 
 let () =
-  run_benchmarks ();
+  let components = run_benchmarks () in
   print_endline "\nexperiment tables (quick mode; run `rbgp exp <id>` for full size):";
-  List.iter
-    (fun ((id, _desc, _f) :
-           string * string * (?quick:bool -> ?seed:int -> unit -> unit)) ->
-      Rbgp_harness.Report.run ~quick:true ~seed:42 id)
-    Rbgp_harness.Report.all
+  let experiments =
+    List.map
+      (fun ((id, _desc, _f) :
+             string * string * (?quick:bool -> ?seed:int -> unit -> unit)) ->
+        let (), dt =
+          timed (fun () -> Rbgp_harness.Report.run ~quick:true ~seed:42 id)
+        in
+        (id, dt))
+      Rbgp_harness.Report.all
+  in
+  print_newline ();
+  let parallel = parallel_check () in
+  write_bench_json ~components ~experiments ~parallel

@@ -22,6 +22,24 @@ let seed_arg =
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sizes, for smoke runs.")
 
+let domains_arg =
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some d when d >= 1 -> Ok d
+      | _ -> Error (`Msg "expected a positive integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Number of domains (cores) used to fan experiment cells out. \
+           Defaults to \\$(b,RBGP_DOMAINS) or the machine's recommended \
+           domain count; results are byte-identical for any value.")
+
 (* --- exp ------------------------------------------------------------ *)
 
 let exp_ids = "all" :: List.map (fun (id, _, _) -> id) Rbgp_harness.Report.all
@@ -36,13 +54,15 @@ let exp_id_arg =
     & info [] ~docv:"EXPERIMENT" ~doc)
 
 let exp_cmd =
-  let run id quick seed verbose =
+  let run id quick seed domains verbose =
     setup_logs verbose;
+    Rbgp_util.Pool.set_domains domains;
     Rbgp_harness.Report.run ~quick ~seed id
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run one of the E1-E13 experiments (see DESIGN.md).")
-    Term.(const run $ exp_id_arg $ quick_arg $ seed_arg $ verbose_arg)
+    Term.(
+      const run $ exp_id_arg $ quick_arg $ seed_arg $ domains_arg $ verbose_arg)
 
 (* --- sim ------------------------------------------------------------ *)
 

@@ -4,7 +4,8 @@ module Online = Rbgp_ring.Online
 
 let never_move (inst : Instance.t) =
   let a = Assignment.create inst in
-  Online.make ~name:"never-move" ~augmentation:1.0
+  Online.with_journal (Assignment.journal a)
+  @@ Online.make ~name:"never-move" ~augmentation:1.0
     ~assignment:(fun () -> a)
     ~serve:(fun _ -> ())
 
@@ -39,7 +40,8 @@ let greedy_colocate ?(threshold = 1) (inst : Instance.t) =
       end
     end
   in
-  Online.make ~name:"greedy-colocate" ~augmentation:1.0
+  Online.with_journal (Assignment.journal a)
+  @@ Online.make ~name:"greedy-colocate" ~augmentation:1.0
     ~assignment:(fun () -> a)
     ~serve
 
@@ -94,7 +96,8 @@ let counter_threshold ?theta ~epsilon (inst : Instance.t) =
       end
     end
   in
-  Online.make ~name:"counter-threshold"
+  Online.with_journal (Assignment.journal a)
+  @@ Online.make ~name:"counter-threshold"
     ~augmentation:
       (float_of_int (Intervals.max_slice_len dec) /. float_of_int k)
     ~assignment:(fun () -> a)
@@ -171,7 +174,8 @@ let component_learning (inst : Instance.t) =
     (* components that would exceed k are never merged: the learning
        variant's guarantee does not cover them, so the request is paid *)
   in
-  Online.make ~name:"component-learning" ~augmentation:1.0
+  Online.with_journal (Assignment.journal a)
+  @@ Online.make ~name:"component-learning" ~augmentation:1.0
     ~assignment:(fun () -> a)
     ~serve
 
@@ -187,6 +191,7 @@ let static_oracle (inst : Instance.t) ~trace =
         sol.Rbgp_offline.Static_opt.assignment
     end
   in
-  Online.make ~name:"static-oracle" ~augmentation:1.0
+  Online.with_journal (Assignment.journal a)
+  @@ Online.make ~name:"static-oracle" ~augmentation:1.0
     ~assignment:(fun () -> a)
     ~serve

@@ -90,7 +90,8 @@ let serve t e =
   end
 
 let online t =
-  Rbgp_ring.Online.make ~name:"onl-dynamic"
+  Rbgp_ring.Online.with_journal (Assignment.journal t.assignment)
+  @@ Rbgp_ring.Online.make ~name:"onl-dynamic"
     ~augmentation:
       (float_of_int (Intervals.max_slice_len t.dec)
       /. float_of_int t.inst.Instance.k)

@@ -9,13 +9,29 @@ module W = Rbgp_workloads.Workloads
 let header id title =
   Printf.printf "\n=== %s: %s ===\n" (String.uppercase_ascii id) title
 
-let ratio a b = if b <= 0.0 then Float.nan else a /. b
+(* a zero-cost comparator against a positive online cost is an explicit
+   "inf" in the tables (rendered by Tbl.cell_ratio, like Cost.scale_ratio's
+   infinity), never a locale-dependent Printf artifact; 0/0 stays nan
+   ("no signal") *)
+let ratio a b =
+  if b > 0.0 then a /. b else if a > 0.0 then Float.infinity else Float.nan
+
 let fi = float_of_int
 
 let trace_array trace steps =
   match trace with
   | Trace.Fixed a -> Array.sub a 0 steps
   | Trace.Adaptive _ -> invalid_arg "trace_array: adaptive trace"
+
+(* split the flat result list of a fan-out back into rows of [width] cells *)
+let rec take width l =
+  if width = 0 then ([], l)
+  else
+    match l with
+    | x :: tl ->
+        let row, rest = take (width - 1) tl in
+        (x :: row, rest)
+    | [] -> invalid_arg "Report.take: not enough cells"
 
 (* ------------------------------------------------------------------ *)
 (* E1 / E6: load bounds                                                *)
@@ -85,54 +101,66 @@ let e2_interval_ratio ?(quick = false) ?(seed = 13) () =
         [ "k"; "n"; "workload"; "ONL_R (mean)"; "sd"; "OPT_R"; "ratio";
           "ratio/log2 k" ]
   in
+  (* cell construction is sequential (workload rng streams are derived in a
+     fixed order); the expensive run + exact OPT_R per cell fans out *)
+  let cells =
+    List.concat_map
+      (fun k ->
+        let ell = 8 in
+        let n = ell * k in
+        let inst = Runner.instance ~n ~ell in
+        let steps = if quick then 2_000 else 50 * n in
+        let rng = Rng.create seed in
+        List.map
+          (fun (wname, trace) ->
+            let tarr = trace_array trace steps in
+            ignore (Rng.split rng);
+            ( (k, n, wname),
+              fun () ->
+                let mean, sd =
+                  Runner.averaged ~seeds:solver_seeds (fun s ->
+                      let alg =
+                        Rbgp_core.Dynamic_alg.create ~shift:0 ~epsilon inst
+                          (Rng.create (seed + (1000 * s)))
+                      in
+                      let (_ : Runner.run) =
+                        Runner.run_alg inst
+                          (Rbgp_core.Dynamic_alg.online alg)
+                          (Trace.fixed tarr) ~steps
+                      in
+                      Rbgp_core.Dynamic_alg.interval_hit_cost alg
+                      +. Rbgp_core.Dynamic_alg.interval_move_cost alg)
+                in
+                let opt_r =
+                  Rbgp_offline.Lower_bound.interval_opt inst tarr ~shift:0
+                    ~epsilon
+                in
+                (mean, sd, opt_r) ))
+          [
+            ("uniform", W.uniform ~n ~steps (Rng.split rng));
+            ("zipf", W.zipf ~n ~steps (Rng.split rng));
+            ("rotating", W.rotating ~n ~steps (Rng.split rng));
+          ])
+      ks
+  in
+  let results = Runner.fan_out (List.map snd cells) in
   let ratios = ref [] in
-  List.iter
-    (fun k ->
-      let ell = 8 in
-      let n = ell * k in
-      let inst = Runner.instance ~n ~ell in
-      let steps = if quick then 2_000 else 50 * n in
-      let rng = Rng.create seed in
-      List.iter
-        (fun (wname, trace) ->
-          let tarr = trace_array trace steps in
-          let mean, sd =
-            Runner.averaged ~seeds:solver_seeds (fun s ->
-                let alg =
-                  Rbgp_core.Dynamic_alg.create ~shift:0 ~epsilon inst
-                    (Rng.create (seed + (1000 * s)))
-                in
-                let (_ : Runner.run) =
-                  Runner.run_alg inst
-                    (Rbgp_core.Dynamic_alg.online alg)
-                    (Trace.fixed tarr) ~steps
-                in
-                Rbgp_core.Dynamic_alg.interval_hit_cost alg
-                +. Rbgp_core.Dynamic_alg.interval_move_cost alg)
-          in
-          ignore (Rng.split rng);
-          let opt_r =
-            Rbgp_offline.Lower_bound.interval_opt inst tarr ~shift:0 ~epsilon
-          in
-          let r = ratio mean opt_r in
-          if wname = "uniform" then ratios := (fi k, r) :: !ratios;
-          Tbl.add_row tbl
-            [
-              Tbl.cell_i k;
-              Tbl.cell_i n;
-              wname;
-              Printf.sprintf "%.0f" mean;
-              Printf.sprintf "%.0f" sd;
-              Tbl.cell_f opt_r;
-              Printf.sprintf "%.2f" r;
-              Printf.sprintf "%.2f" (r /. (log (fi k) /. log 2.0));
-            ])
+  List.iter2
+    (fun ((k, n, wname), _) (mean, sd, opt_r) ->
+      let r = ratio mean opt_r in
+      if wname = "uniform" then ratios := (fi k, r) :: !ratios;
+      Tbl.add_row tbl
         [
-          ("uniform", W.uniform ~n ~steps (Rng.split rng));
-          ("zipf", W.zipf ~n ~steps (Rng.split rng));
-          ("rotating", W.rotating ~n ~steps (Rng.split rng));
+          Tbl.cell_i k;
+          Tbl.cell_i n;
+          wname;
+          Printf.sprintf "%.0f" mean;
+          Printf.sprintf "%.0f" sd;
+          Tbl.cell_f opt_r;
+          Tbl.cell_ratio r;
+          Tbl.cell_ratio (r /. (log (fi k) /. log 2.0));
         ])
-    ks;
+    cells results;
   Tbl.print tbl;
   (match !ratios with
   | _ :: _ :: _ ->
@@ -161,38 +189,59 @@ let e3_dynamic_ratio ?(quick = false) ?(seed = 17) () =
      meaningful *)
   let tiny_steps = if quick then 300 else 800 in
   let tiny_instances = if quick then [ (6, 3) ] else [ (6, 3); (8, 4) ] in
-  List.iter
-    (fun (n, ell) ->
-      let inst = Runner.instance ~n ~ell in
-      let dp = Rbgp_offline.Dynamic_opt.enumerate_states inst () in
-      let rng = Rng.create seed in
+  (* the state-space DP is built once per instance and shared read-only by
+     the parallel cells (Dynamic_opt.solve allocates its own scratch) *)
+  let tiny_cells =
+    List.concat_map
+      (fun (n, ell) ->
+        let inst = Runner.instance ~n ~ell in
+        let dp = Rbgp_offline.Dynamic_opt.enumerate_states inst () in
+        let rng = Rng.create seed in
+        List.map
+          (fun (wname, trace) ->
+            let tarr = trace_array trace tiny_steps in
+            ( (n, ell, wname),
+              fun () ->
+                let opt = Rbgp_offline.Dynamic_opt.solve dp tarr in
+                let runs =
+                  List.map
+                    (fun (spec : Runner.alg_spec) ->
+                      let alg =
+                        spec.Runner.build inst ~trace:tarr ~seed:(seed + 1)
+                      in
+                      let r =
+                        Runner.run_alg inst alg (Trace.fixed tarr)
+                          ~steps:tiny_steps
+                      in
+                      (spec.Runner.name, Cost.total r.Runner.cost))
+                    (Runner.core_algorithms ~epsilon:0.5
+                    @ Runner.baseline_algorithms ~epsilon:0.5)
+                in
+                (Cost.total opt, runs) ))
+          [
+            ("uniform", W.uniform ~n ~steps:tiny_steps (Rng.split rng));
+            ( "rotating",
+              W.rotating ~n ~steps:tiny_steps ~arc:2 ~period:8 (Rng.split rng)
+            );
+          ])
+      tiny_instances
+  in
+  List.iter2
+    (fun ((n, ell, wname), _) (opt_total, runs) ->
       List.iter
-        (fun (wname, trace) ->
-          let tarr = trace_array trace tiny_steps in
-          let opt = Rbgp_offline.Dynamic_opt.solve dp tarr in
-          List.iter
-            (fun (spec : Runner.alg_spec) ->
-              let alg = spec.Runner.build inst ~trace:tarr ~seed:(seed + 1) in
-              let r =
-                Runner.run_alg inst alg (Trace.fixed tarr) ~steps:tiny_steps
-              in
-              Tbl.add_row tbl
-                [
-                  Printf.sprintf "n=%d ell=%d" n ell;
-                  wname;
-                  spec.Runner.name;
-                  Tbl.cell_i (Cost.total r.Runner.cost);
-                  Tbl.cell_i (Cost.total opt);
-                  Printf.sprintf "%.2f"
-                    (ratio (fi (Cost.total r.Runner.cost)) (fi (Cost.total opt)));
-                ])
-            (Runner.core_algorithms ~epsilon:0.5
-            @ Runner.baseline_algorithms ~epsilon:0.5))
-        [
-          ("uniform", W.uniform ~n ~steps:tiny_steps (Rng.split rng));
-          ("rotating", W.rotating ~n ~steps:tiny_steps ~arc:2 ~period:8 (Rng.split rng));
-        ])
-    tiny_instances;
+        (fun (alg_name, cost_total) ->
+          Tbl.add_row tbl
+            [
+              Printf.sprintf "n=%d ell=%d" n ell;
+              wname;
+              alg_name;
+              Tbl.cell_i cost_total;
+              Tbl.cell_i opt_total;
+              Tbl.cell_ratio (ratio (fi cost_total) (fi opt_total));
+            ])
+        runs)
+    tiny_cells
+    (Runner.fan_out (List.map snd tiny_cells));
   Tbl.print tbl;
   (* at scale, vs certified lower bound *)
   Printf.printf
@@ -210,35 +259,51 @@ let e3_dynamic_ratio ?(quick = false) ?(seed = 17) () =
   let steps = if quick then 5_000 else 20_000 in
   let inst = Runner.instance ~n ~ell in
   let rng = Rng.create (seed + 2) in
-  List.iter
-    (fun (wname, trace) ->
-      let tarr = trace_array trace steps in
-      let lb = Rbgp_offline.Lower_bound.dynamic_lb inst tarr () in
-      let _, ub_cost = Rbgp_offline.Dynamic_heuristic.best inst tarr () in
-      let ub = Cost.total ub_cost in
+  let scale_cells =
+    List.map
+      (fun (wname, trace) ->
+        let tarr = trace_array trace steps in
+        ( wname,
+          fun () ->
+            let lb = Rbgp_offline.Lower_bound.dynamic_lb inst tarr () in
+            let _, ub_cost = Rbgp_offline.Dynamic_heuristic.best inst tarr () in
+            let runs =
+              List.map
+                (fun (spec : Runner.alg_spec) ->
+                  let alg =
+                    spec.Runner.build inst ~trace:tarr ~seed:(seed + 3)
+                  in
+                  let r = Runner.run_alg inst alg (Trace.fixed tarr) ~steps in
+                  (spec.Runner.name, Cost.total r.Runner.cost))
+                (Runner.core_algorithms ~epsilon:0.5
+                @ Runner.baseline_algorithms ~epsilon:0.5)
+            in
+            (lb, Cost.total ub_cost, runs) ))
+      [
+        ("uniform", W.uniform ~n ~steps (Rng.split rng));
+        ("rotating", W.rotating ~n ~steps (Rng.split rng));
+        ("hotspot", W.hotspot ~n ~steps (Rng.split rng));
+      ]
+  in
+  List.iter2
+    (fun (wname, _) (lb, ub, runs) ->
       List.iter
-        (fun (spec : Runner.alg_spec) ->
-          let alg = spec.Runner.build inst ~trace:tarr ~seed:(seed + 3) in
-          let r = Runner.run_alg inst alg (Trace.fixed tarr) ~steps in
+        (fun (alg_name, cost_total) ->
           Tbl.add_row tbl2
             [
               Tbl.cell_i n;
               Tbl.cell_i inst.Instance.k;
               wname;
-              spec.Runner.name;
-              Tbl.cell_i (Cost.total r.Runner.cost);
+              alg_name;
+              Tbl.cell_i cost_total;
               Tbl.cell_i lb;
               Tbl.cell_i ub;
-              Printf.sprintf "%.2f" (ratio (fi (Cost.total r.Runner.cost)) (fi lb));
-              Printf.sprintf "%.2f" (ratio (fi (Cost.total r.Runner.cost)) (fi ub));
+              Tbl.cell_ratio (ratio (fi cost_total) (fi lb));
+              Tbl.cell_ratio (ratio (fi cost_total) (fi ub));
             ])
-        (Runner.core_algorithms ~epsilon:0.5
-        @ Runner.baseline_algorithms ~epsilon:0.5))
-    [
-      ("uniform", W.uniform ~n ~steps (Rng.split rng));
-      ("rotating", W.rotating ~n ~steps (Rng.split rng));
-      ("hotspot", W.hotspot ~n ~steps (Rng.split rng));
-    ];
+        runs)
+    scale_cells
+    (Runner.fan_out (List.map snd scale_cells));
   Tbl.print tbl2;
   (* scaling: does the ratio against the feasible offline schedule stay
      bounded as k grows?  (Theorem 2.1 predicts polylog growth; against
@@ -249,33 +314,47 @@ let e3_dynamic_ratio ?(quick = false) ?(seed = 17) () =
       ~headers:[ "k"; "n"; "steps"; "onl-dynamic"; "dyn UB"; "cost/UB" ]
   in
   let ks = if quick then [ 8; 16 ] else [ 8; 16; 32; 64 ] in
-  List.iter
-    (fun k ->
-      let ell = 8 in
-      let n = ell * k in
-      let inst = Runner.instance ~n ~ell in
-      let steps = 50 * n in
-      let rng = Rng.create (seed + 4) in
-      let tarr = trace_array (W.rotating ~n ~steps (Rng.split rng)) steps in
-      let alg =
-        Rbgp_core.Dynamic_alg.create ~epsilon:0.5 inst (Rng.create (seed + 5))
-      in
-      let r =
-        Runner.run_alg inst (Rbgp_core.Dynamic_alg.online alg)
-          (Trace.fixed tarr) ~steps
-      in
-      let _, ub_cost = Rbgp_offline.Dynamic_heuristic.best inst tarr () in
-      let ub = Cost.total ub_cost in
+  (* each k is fully self-contained (a fresh rng stream per k), so the cell
+     body can build its own trace *)
+  let k_cells =
+    List.map
+      (fun k ->
+        let ell = 8 in
+        let n = ell * k in
+        let steps = 50 * n in
+        ( (k, n, steps),
+          fun () ->
+            let inst = Runner.instance ~n ~ell in
+            let rng = Rng.create (seed + 4) in
+            let tarr =
+              trace_array (W.rotating ~n ~steps (Rng.split rng)) steps
+            in
+            let alg =
+              Rbgp_core.Dynamic_alg.create ~epsilon:0.5 inst
+                (Rng.create (seed + 5))
+            in
+            let r =
+              Runner.run_alg inst
+                (Rbgp_core.Dynamic_alg.online alg)
+                (Trace.fixed tarr) ~steps
+            in
+            let _, ub_cost = Rbgp_offline.Dynamic_heuristic.best inst tarr () in
+            (Cost.total r.Runner.cost, Cost.total ub_cost) ))
+      ks
+  in
+  List.iter2
+    (fun ((k, n, steps), _) (cost_total, ub) ->
       Tbl.add_row tbl3
         [
           Tbl.cell_i k;
           Tbl.cell_i n;
           Tbl.cell_i steps;
-          Tbl.cell_i (Cost.total r.Runner.cost);
+          Tbl.cell_i cost_total;
           Tbl.cell_i ub;
-          Printf.sprintf "%.2f" (ratio (fi (Cost.total r.Runner.cost)) (fi ub));
+          Tbl.cell_ratio (ratio (fi cost_total) (fi ub));
         ])
-    ks;
+    k_cells
+    (Runner.fan_out (List.map snd k_cells));
   Tbl.print tbl3
 
 (* ------------------------------------------------------------------ *)
@@ -310,9 +389,9 @@ let e4_deterministic_lower_bound ?(quick = false) ?(seed = 19) () =
         player_name;
         Tbl.cell_f cost;
         Tbl.cell_f opt;
-        Printf.sprintf "%.2f" r;
+        Tbl.cell_ratio r;
         Printf.sprintf "%.3f" (r /. fi k);
-        Printf.sprintf "%.2f" (r /. (log (fi k) /. log 2.0));
+        Tbl.cell_ratio (r /. (log (fi k) /. log 2.0));
       ]
   in
   List.iter
@@ -373,46 +452,54 @@ let e5_hitting_ratio ?(quick = false) ?(seed = 23) () =
     Tbl.create
       ~headers:[ "k"; "workload"; "cost"; "static OPT"; "ratio"; "ratio/log2 k" ]
   in
-  List.iter
-    (fun k ->
-      let steps = if quick then 5_000 else 40_000 in
-      let rng = Rng.create seed in
-      let start = Rbgp_hitting.Game.start_edge ~k in
-      let workloads =
-        [
-          ("hammer-start", Rbgp_hitting.Adversary.hammer ~k ~edge:start ~steps);
-          ("uniform", Rbgp_hitting.Adversary.uniform ~k ~steps (Rng.split rng));
-          ("bait-switch", Rbgp_hitting.Adversary.bait_and_switch ~k ~steps);
-        ]
-      in
-      List.iter
-        (fun (wname, requests) ->
-          let seeds = if quick then [ 1 ] else [ 1; 2; 3 ] in
-          let mean, _ =
-            Runner.averaged ~seeds (fun s ->
-                let ig =
-                  Rbgp_hitting.Interval_growing.create ~k
-                    (Rng.create (seed + s))
+  let cells =
+    List.concat_map
+      (fun k ->
+        let steps = if quick then 5_000 else 40_000 in
+        let rng = Rng.create seed in
+        let start = Rbgp_hitting.Game.start_edge ~k in
+        List.map
+          (fun (wname, requests) ->
+            ( (k, wname),
+              fun () ->
+                let seeds = if quick then [ 1 ] else [ 1; 2; 3 ] in
+                let mean, _ =
+                  Runner.averaged ~seeds (fun s ->
+                      let ig =
+                        Rbgp_hitting.Interval_growing.create ~k
+                          (Rng.create (seed + s))
+                      in
+                      Rbgp_hitting.Game.run
+                        (Rbgp_hitting.Interval_growing.player ig)
+                        requests;
+                      Rbgp_hitting.Interval_growing.hit_cost ig
+                      +. Rbgp_hitting.Interval_growing.move_cost ig)
                 in
-                Rbgp_hitting.Game.run
-                  (Rbgp_hitting.Interval_growing.player ig)
-                  requests;
-                Rbgp_hitting.Interval_growing.hit_cost ig
-                +. Rbgp_hitting.Interval_growing.move_cost ig)
-          in
-          let opt = Rbgp_hitting.Static_opt.static ~k requests in
-          let r = ratio mean opt in
-          Tbl.add_row tbl
-            [
-              Tbl.cell_i k;
-              wname;
-              Tbl.cell_f mean;
-              Tbl.cell_f opt;
-              Printf.sprintf "%.2f" r;
-              Printf.sprintf "%.2f" (r /. (log (fi k) /. log 2.0));
-            ])
-        workloads)
-    ks;
+                let opt = Rbgp_hitting.Static_opt.static ~k requests in
+                (mean, opt) ))
+          [
+            ( "hammer-start",
+              Rbgp_hitting.Adversary.hammer ~k ~edge:start ~steps );
+            ( "uniform",
+              Rbgp_hitting.Adversary.uniform ~k ~steps (Rng.split rng) );
+            ("bait-switch", Rbgp_hitting.Adversary.bait_and_switch ~k ~steps);
+          ])
+      ks
+  in
+  List.iter2
+    (fun ((k, wname), _) (mean, opt) ->
+      let r = ratio mean opt in
+      Tbl.add_row tbl
+        [
+          Tbl.cell_i k;
+          wname;
+          Tbl.cell_f mean;
+          Tbl.cell_f opt;
+          Tbl.cell_ratio r;
+          Tbl.cell_ratio (r /. (log (fi k) /. log 2.0));
+        ])
+    cells
+    (Runner.fan_out (List.map snd cells));
   Tbl.print tbl
 
 (* ------------------------------------------------------------------ *)
@@ -430,50 +517,60 @@ let e7_static_ratio ?(quick = false) ?(seed = 29) () =
         [ "k"; "n"; "workload"; "onl-static (mean)"; "sd"; "static OPT";
           "static LB"; "ratio" ]
   in
-  List.iter
-    (fun k ->
-      let ell = 8 in
-      let n = ell * k in
-      let inst = Runner.instance ~n ~ell in
-      let steps = if quick then 2_000 else 40 * n in
-      let rng = Rng.create seed in
-      List.iter
-        (fun (wname, trace) ->
-          let tarr = trace_array trace steps in
-          let mean, sd =
-            Runner.averaged ~seeds (fun s ->
-                let alg =
-                  Rbgp_core.Static_alg.create ~epsilon inst
-                    (Rng.create (seed + (1000 * s)))
+  let cells =
+    List.concat_map
+      (fun k ->
+        let ell = 8 in
+        let n = ell * k in
+        let inst = Runner.instance ~n ~ell in
+        let steps = if quick then 2_000 else 40 * n in
+        let rng = Rng.create seed in
+        List.map
+          (fun (wname, trace) ->
+            let tarr = trace_array trace steps in
+            ignore (Rng.split rng);
+            ( (k, n, wname),
+              fun () ->
+                let mean, sd =
+                  Runner.averaged ~seeds (fun s ->
+                      let alg =
+                        Rbgp_core.Static_alg.create ~epsilon inst
+                          (Rng.create (seed + (1000 * s)))
+                      in
+                      let r =
+                        Runner.run_alg inst
+                          (Rbgp_core.Static_alg.online alg)
+                          (Trace.fixed tarr) ~steps
+                      in
+                      fi (Cost.total r.Runner.cost))
                 in
-                let r =
-                  Runner.run_alg inst
-                    (Rbgp_core.Static_alg.online alg)
-                    (Trace.fixed tarr) ~steps
+                let opt = Rbgp_offline.Static_opt.segmented inst tarr in
+                let lb =
+                  Rbgp_offline.Static_opt.crossing_lower_bound inst tarr
                 in
-                fi (Cost.total r.Runner.cost))
-          in
-          ignore (Rng.split rng);
-          let opt = Rbgp_offline.Static_opt.segmented inst tarr in
-          let lb = Rbgp_offline.Static_opt.crossing_lower_bound inst tarr in
-          Tbl.add_row tbl
-            [
-              Tbl.cell_i k;
-              Tbl.cell_i n;
-              wname;
-              Printf.sprintf "%.0f" mean;
-              Printf.sprintf "%.0f" sd;
-              Tbl.cell_i opt.Rbgp_offline.Static_opt.total;
-              Tbl.cell_i lb;
-              Printf.sprintf "%.2f"
-                (ratio mean (fi opt.Rbgp_offline.Static_opt.total));
-            ])
+                (mean, sd, opt.Rbgp_offline.Static_opt.total, lb) ))
+          [
+            ("uniform", W.uniform ~n ~steps (Rng.split rng));
+            ("hotspot", W.hotspot ~n ~steps (Rng.split rng));
+            ("piecewise", W.piecewise_static ~n ~steps (Rng.split rng));
+          ])
+      ks
+  in
+  List.iter2
+    (fun ((k, n, wname), _) (mean, sd, opt_total, lb) ->
+      Tbl.add_row tbl
         [
-          ("uniform", W.uniform ~n ~steps (Rng.split rng));
-          ("hotspot", W.hotspot ~n ~steps (Rng.split rng));
-          ("piecewise", W.piecewise_static ~n ~steps (Rng.split rng));
+          Tbl.cell_i k;
+          Tbl.cell_i n;
+          wname;
+          Printf.sprintf "%.0f" mean;
+          Printf.sprintf "%.0f" sd;
+          Tbl.cell_i opt_total;
+          Tbl.cell_i lb;
+          Tbl.cell_ratio (ratio mean (fi opt_total));
         ])
-    ks;
+    cells
+    (Runner.fan_out (List.map snd cells));
   Tbl.print tbl;
   (* strictness: short, cheap sequences must still give bounded ratios *)
   Printf.printf "\nstrictness check (short cheap sequences, no additive term):\n";
@@ -499,7 +596,7 @@ let e7_static_ratio ?(quick = false) ?(seed = 29) () =
           (let c = Cost.total r.Runner.cost in
            if opt.Rbgp_offline.Static_opt.total = 0 then
              if c = 0 then "0/0 (strict)" else Printf.sprintf "%d/0 VIOLATION" c
-           else Printf.sprintf "%.2f" (ratio (fi c) (fi opt.Rbgp_offline.Static_opt.total)));
+           else Tbl.cell_ratio (ratio (fi c) (fi opt.Rbgp_offline.Static_opt.total)));
         ])
     [ 10; 100; 1000 ];
   Tbl.print tbl2
@@ -525,35 +622,45 @@ let e8_head_to_head ?(quick = false) ?(seed = 31) () =
         ("workload" :: List.map (fun (s : Runner.alg_spec) -> s.Runner.name) specs)
   in
   let oblivious = W.all_fixed ~n ~steps (Rng.split rng) in
-  List.iter
-    (fun (wname, trace) ->
-      let tarr = trace_array trace steps in
-      let row =
+  (* one cell per (workload x algorithm); the flat fan-out result is split
+     back into table rows of |specs| cells *)
+  let cells =
+    List.concat_map
+      (fun (_, trace) ->
+        let tarr = trace_array trace steps in
         List.map
-          (fun (spec : Runner.alg_spec) ->
+          (fun (spec : Runner.alg_spec) () ->
             let alg = spec.Runner.build inst ~trace:tarr ~seed:(seed + 1) in
             let r = Runner.run_alg inst alg (Trace.fixed tarr) ~steps in
             Tbl.cell_i (Cost.total r.Runner.cost))
-          specs
-      in
-      Tbl.add_row tbl (wname :: row))
-    oblivious;
-  (* adaptive adversary: no static-oracle (it needs the trace up front) *)
+          specs)
+      oblivious
+  in
+  (* adaptive adversary: no static-oracle (it needs the trace up front);
+     each cell drives its own adversary instance *)
   let adaptive_specs =
     List.filter (fun (s : Runner.alg_spec) -> s.Runner.name <> "static-oracle") specs
   in
-  let row =
+  let adaptive_cells =
     List.map
-      (fun (spec : Runner.alg_spec) ->
+      (fun (spec : Runner.alg_spec) () ->
         let alg = spec.Runner.build inst ~trace:[||] ~seed:(seed + 1) in
-        let r =
-          Runner.run_alg inst alg (W.adversary_cut_chaser ~n) ~steps
-        in
+        let r = Runner.run_alg inst alg (W.adversary_cut_chaser ~n) ~steps in
         Tbl.cell_i (Cost.total r.Runner.cost))
       adaptive_specs
   in
+  let results = Runner.fan_out (cells @ adaptive_cells) in
+  let width = List.length specs in
+  let rest =
+    List.fold_left
+      (fun remaining (wname, _) ->
+        let row, rest = take width remaining in
+        Tbl.add_row tbl (wname :: row);
+        rest)
+      results oblivious
+  in
   Tbl.add_rule tbl;
-  Tbl.add_row tbl (("cut-chaser" :: row) @ [ "n/a" ]);
+  Tbl.add_row tbl (("cut-chaser" :: rest) @ [ "n/a" ]);
   Tbl.print tbl
 
 (* ------------------------------------------------------------------ *)
@@ -581,11 +688,13 @@ let e9_mts_ablation ?(quick = false) ?(seed = 37) () =
       ("cut-chaser", `Adaptive);
     ]
   in
-  List.iter
-    (fun (wname, kind) ->
-      let row =
+  (* one cell per (workload x solver); adaptive traces are built inside the
+     cell so every solver drives a private adversary instance *)
+  let cells =
+    List.concat_map
+      (fun (_, kind) ->
         List.map
-          (fun (spec : Runner.alg_spec) ->
+          (fun (spec : Runner.alg_spec) () ->
             let trace =
               match kind with
               | `Fixed t -> t
@@ -594,10 +703,18 @@ let e9_mts_ablation ?(quick = false) ?(seed = 37) () =
             let alg = spec.Runner.build inst ~trace:[||] ~seed:(seed + 1) in
             let r = Runner.run_alg inst alg trace ~steps in
             Tbl.cell_i (Cost.total r.Runner.cost))
-          specs
-      in
-      Tbl.add_row tbl (wname :: row))
-    workloads;
+          specs)
+      workloads
+  in
+  let width = List.length specs in
+  let (_ : string list) =
+    List.fold_left
+      (fun remaining (wname, _) ->
+        let row, rest = take width remaining in
+        Tbl.add_row tbl (wname :: row);
+        rest)
+      (Runner.fan_out cells) workloads
+  in
   Tbl.print tbl
 
 (* ------------------------------------------------------------------ *)
@@ -672,38 +789,53 @@ let e11_epsilon_ablation ?(quick = false) ?(seed = 43) () =
       ~headers:
         [ "epsilon"; "alg"; "claimed aug"; "max load / k"; "total cost" ]
   in
+  let makers =
+    [
+      ( "onl-dynamic",
+        fun epsilon ->
+          Some
+            (Rbgp_core.Dynamic_alg.online
+               (Rbgp_core.Dynamic_alg.create ~epsilon inst
+                  (Rng.create (seed + 1)))) );
+      ( "onl-static",
+        fun epsilon ->
+          Some
+            (Rbgp_core.Static_alg.online
+               (Rbgp_core.Static_alg.create ~epsilon inst
+                  (Rng.create (seed + 2)))) );
+    ]
+  in
+  let cells =
+    List.concat_map
+      (fun epsilon ->
+        List.map
+          (fun (name, make) () ->
+            match make epsilon with
+            | None -> None
+            | Some (alg : Rbgp_ring.Online.t) ->
+                let r = Runner.run_alg inst alg (Trace.fixed tarr) ~steps in
+                Some
+                  ( epsilon,
+                    name,
+                    alg.Rbgp_ring.Online.augmentation,
+                    r.Runner.max_load,
+                    Cost.total r.Runner.cost ))
+          makers)
+      (if quick then [ 0.25; 1.0 ] else [ 0.1; 0.25; 0.5; 1.0; 2.0 ])
+  in
   List.iter
-    (fun epsilon ->
-      List.iter
-        (fun (name, make) ->
-          match make epsilon with
-          | None -> ()
-          | Some (alg : Rbgp_ring.Online.t) ->
-              let r = Runner.run_alg inst alg (Trace.fixed tarr) ~steps in
-              Tbl.add_row tbl
-                [
-                  Printf.sprintf "%.2f" epsilon;
-                  name;
-                  Printf.sprintf "%.2f" alg.Rbgp_ring.Online.augmentation;
-                  Printf.sprintf "%.2f"
-                    (fi r.Runner.max_load /. fi inst.Instance.k);
-                  Tbl.cell_i (Cost.total r.Runner.cost);
-                ])
-        [
-          ( "onl-dynamic",
-            fun epsilon ->
-              Some
-                (Rbgp_core.Dynamic_alg.online
-                   (Rbgp_core.Dynamic_alg.create ~epsilon inst
-                      (Rng.create (seed + 1)))) );
-          ( "onl-static",
-            fun epsilon ->
-              Some
-                (Rbgp_core.Static_alg.online
-                   (Rbgp_core.Static_alg.create ~epsilon inst
-                      (Rng.create (seed + 2)))) );
-        ])
-    (if quick then [ 0.25; 1.0 ] else [ 0.1; 0.25; 0.5; 1.0; 2.0 ]);
+    (function
+      | None -> ()
+      | Some (epsilon, name, aug, max_load, cost_total) ->
+          Tbl.add_row tbl
+            [
+              Printf.sprintf "%.2f" epsilon;
+              name;
+              Printf.sprintf "%.2f" aug;
+              Printf.sprintf "%.2f" (fi max_load /. fi inst.Instance.k);
+              Tbl.cell_i cost_total;
+            ])
+    (Runner.fan_out cells);
   Tbl.print tbl
 
 (* ------------------------------------------------------------------ *)
@@ -723,58 +855,70 @@ let e12_parameter_ablation ?(quick = false) ?(seed = 47) () =
      faster but moves more *)
   Printf.printf "\nsmin-mw scale c (dynamic algorithm, zipf trace):\n";
   let tbl = Tbl.create ~headers:[ "c / diameter"; "comm"; "mig"; "total" ] in
-  List.iter
-    (fun factor ->
-      let solver metric ~start ~rng =
-        let c =
-          Float.max 1.0
-            (factor *. fi (Rbgp_mts.Metric.diameter metric))
+  let factor_cells =
+    List.map
+      (fun factor () ->
+        let solver metric ~start ~rng =
+          let c =
+            Float.max 1.0 (factor *. fi (Rbgp_mts.Metric.diameter metric))
+          in
+          Rbgp_mts.Smin_mw.solver_with_scale ~c metric ~start ~rng
         in
-        Rbgp_mts.Smin_mw.solver_with_scale ~c metric ~start ~rng
-      in
-      let alg =
-        Rbgp_core.Dynamic_alg.create ~mts:solver ~epsilon:0.5 inst
-          (Rng.create (seed + 1))
-      in
-      let r =
-        Runner.run_alg inst (Rbgp_core.Dynamic_alg.online alg)
-          (Trace.fixed tarr) ~steps
-      in
+        let alg =
+          Rbgp_core.Dynamic_alg.create ~mts:solver ~epsilon:0.5 inst
+            (Rng.create (seed + 1))
+        in
+        let r =
+          Runner.run_alg inst
+            (Rbgp_core.Dynamic_alg.online alg)
+            (Trace.fixed tarr) ~steps
+        in
+        (factor, r.Runner.cost))
+      (if quick then [ 0.25; 1.0 ] else [ 0.1; 0.25; 0.5; 1.0; 2.0; 4.0 ])
+  in
+  List.iter
+    (fun (factor, cost) ->
       Tbl.add_row tbl
         [
           Printf.sprintf "%.2f" factor;
-          Tbl.cell_i r.Runner.cost.Cost.comm;
-          Tbl.cell_i r.Runner.cost.Cost.mig;
-          Tbl.cell_i (Cost.total r.Runner.cost);
+          Tbl.cell_i cost.Cost.comm;
+          Tbl.cell_i cost.Cost.mig;
+          Tbl.cell_i (Cost.total cost);
         ])
-    (if quick then [ 0.25; 1.0 ] else [ 0.1; 0.25; 0.5; 1.0; 2.0; 4.0 ]);
+    (Runner.fan_out factor_cells);
   Tbl.print tbl;
   (* delta_bar: eager (paper's 14/15) vs lazier deactivation *)
   Printf.printf "\nslicing threshold delta_bar (static algorithm, zipf trace):\n";
   let tbl2 =
     Tbl.create ~headers:[ "delta_bar"; "comm"; "mig"; "total"; "max load / k" ]
   in
+  let delta_cells =
+    List.map
+      (fun delta_bar () ->
+        let alg =
+          Rbgp_core.Static_alg.create ~delta_bar ~epsilon:0.5 inst
+            (Rng.create (seed + 2))
+        in
+        let r =
+          Runner.run_alg ~strict:false inst
+            (Rbgp_core.Static_alg.online alg)
+            (Trace.fixed tarr) ~steps
+        in
+        (delta_bar, r.Runner.cost, r.Runner.max_load))
+      (if quick then [ 0.75; 14.0 /. 15.0 ]
+       else [ 0.6; 0.75; 0.85; 14.0 /. 15.0; 0.97 ])
+  in
   List.iter
-    (fun delta_bar ->
-      let alg =
-        Rbgp_core.Static_alg.create ~delta_bar ~epsilon:0.5 inst
-          (Rng.create (seed + 2))
-      in
-      let r =
-        Runner.run_alg ~strict:false inst
-          (Rbgp_core.Static_alg.online alg)
-          (Trace.fixed tarr) ~steps
-      in
+    (fun (delta_bar, cost, max_load) ->
       Tbl.add_row tbl2
         [
           Printf.sprintf "%.3f" delta_bar;
-          Tbl.cell_i r.Runner.cost.Cost.comm;
-          Tbl.cell_i r.Runner.cost.Cost.mig;
-          Tbl.cell_i (Cost.total r.Runner.cost);
-          Printf.sprintf "%.2f" (fi r.Runner.max_load /. fi k);
+          Tbl.cell_i cost.Cost.comm;
+          Tbl.cell_i cost.Cost.mig;
+          Tbl.cell_i (Cost.total cost);
+          Printf.sprintf "%.2f" (fi max_load /. fi k);
         ])
-    (if quick then [ 0.75; 14.0 /. 15.0 ]
-     else [ 0.6; 0.75; 0.85; 14.0 /. 15.0; 0.97 ]);
+    (Runner.fan_out delta_cells);
   Tbl.print tbl2;
   Printf.printf
     "note: delta_bar below the paper's max(2/(2+eps'), 14/15) voids the \

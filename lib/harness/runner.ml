@@ -89,3 +89,5 @@ let mts_variants ~epsilon =
 let averaged ~seeds f =
   let samples = Array.of_list (List.map f seeds) in
   (Rbgp_util.Stats.mean samples, Rbgp_util.Stats.stddev samples)
+
+let fan_out cells = Rbgp_util.Pool.map_list (fun f -> f ()) cells

@@ -42,3 +42,13 @@ val mts_variants : epsilon:float -> alg_spec list
 val averaged :
   seeds:int list -> (int -> float) -> float * float
 (** Run a seeded measurement for each seed; returns (mean, stddev). *)
+
+val fan_out : (unit -> 'a) list -> 'a list
+(** Run independent experiment cells across domains
+    ({!Rbgp_util.Pool.map_list} with the default domain count — see
+    [RBGP_DOMAINS] / [--domains]), returning results in input order.
+    Cells must not share mutable state; the experiments guarantee this by
+    generating instances, traces and rng streams {e before} the fan-out
+    and deriving every in-cell rng from an explicit integer seed.  With
+    one domain this is exactly a sequential [List.map], and because cells
+    are self-contained the parallel output is byte-identical to it. *)

@@ -24,6 +24,10 @@ let rec fill_mass x lo hi mass out =
     fill_mass x (mid + 1) hi (mass *. wr /. z) out
   end
 
+let leaf_mass_into x out =
+  Array.fill out 0 (Array.length out) 0.0;
+  fill_mass x 0 (Array.length x - 1) 1.0 out
+
 let leaf_dist_of x =
   let s = Array.length x in
   let out = Array.make s 0.0 in
@@ -39,15 +43,25 @@ let solver : Mts.factory =
       invalid_arg "Hst_mts.solver: requires a line metric");
   let s = Metric.size metric in
   let x = Array.make s 0.0 in
-  let current_dist = ref (leaf_dist_of x) in
+  (* scratch mass buffer plus two rotating distribution buffers (see
+     Smin_mw): the recursion still dominates, but the per-request
+     allocations are gone *)
+  let mass = Array.make s 0.0 in
+  let current_dist = ref (Dist.uniform s) in
+  let next_dist = ref (Dist.uniform s) in
+  leaf_mass_into x mass;
+  Dist.of_grad_into mass !current_dist;
   let next cost current =
     for i = 0 to s - 1 do
       x.(i) <- x.(i) +. cost.(i)
     done;
-    let new_dist = leaf_dist_of x in
+    leaf_mass_into x mass;
+    let new_dist = !next_dist in
+    Dist.of_grad_into mass new_dist;
     let state =
       Dist.resample_coupled rng ~current ~old_dist:!current_dist ~new_dist
     in
+    next_dist := !current_dist;
     current_dist := new_dist;
     state
   in

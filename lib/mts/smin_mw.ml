@@ -6,16 +6,26 @@ let default_scale metric = Float.max 1.0 (float_of_int (Metric.diameter metric))
 let make_solver ~c metric ~start ~rng =
   let s = Metric.size metric in
   let x = Array.make s 0.0 in
-  let current_dist = ref (Dist.of_grad (Smin.grad_c ~c x)) in
+  (* scratch gradient plus two rotating distribution buffers: the serve
+     loop allocates nothing.  of_grad_into performs the same validation
+     and renormalization as of_grad, so outputs are bit-identical. *)
+  let grad = Array.make s 0.0 in
+  let current_dist = ref (Dist.uniform s) in
+  let next_dist = ref (Dist.uniform s) in
+  Smin.grad_c_into ~c x grad;
+  Dist.of_grad_into grad !current_dist;
   let next cost current =
     for i = 0 to s - 1 do
       x.(i) <- x.(i) +. cost.(i)
     done;
-    let new_dist = Dist.of_grad (Smin.grad_c ~c x) in
+    Smin.grad_c_into ~c x grad;
+    let new_dist = !next_dist in
+    Dist.of_grad_into grad new_dist;
     let state =
       Dist.resample_coupled rng ~current ~old_dist:!current_dist
         ~new_dist
     in
+    next_dist := !current_dist;
     current_dist := new_dist;
     state
   in

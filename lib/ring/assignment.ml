@@ -1,7 +1,10 @@
+type journal = { mutable buf : int array; mutable len : int }
+
 type t = {
   inst : Instance.t;
   map : int array;
   loads : int array;
+  mutable jrn : journal option;
 }
 
 let of_array (inst : Instance.t) a =
@@ -13,11 +16,39 @@ let of_array (inst : Instance.t) a =
         invalid_arg "Assignment.of_array: server id out of range";
       loads.(s) <- loads.(s) + 1)
     a;
-  { inst; map = Array.copy a; loads }
+  { inst; map = Array.copy a; loads; jrn = None }
 
 let create (inst : Instance.t) = of_array inst inst.initial
 
-let copy t = { inst = t.inst; map = Array.copy t.map; loads = Array.copy t.loads }
+(* copies never inherit the journal: they are snapshots (simulator shadows),
+   not live algorithm state *)
+let copy t =
+  { inst = t.inst; map = Array.copy t.map; loads = Array.copy t.loads; jrn = None }
+
+let journal t =
+  match t.jrn with
+  | Some j -> j
+  | None ->
+      let j = { buf = Array.make 64 0; len = 0 } in
+      t.jrn <- Some j;
+      j
+
+let journal_clear j = j.len <- 0
+
+let journal_push j p =
+  if j.len = Array.length j.buf then begin
+    let bigger = Array.make (2 * j.len) 0 in
+    Array.blit j.buf 0 bigger 0 j.len;
+    j.buf <- bigger
+  end;
+  j.buf.(j.len) <- p;
+  j.len <- j.len + 1
+
+let journal_drain j f =
+  for i = 0 to j.len - 1 do
+    f j.buf.(i)
+  done;
+  j.len <- 0
 
 let n t = t.inst.Instance.n
 let server_of t p = t.map.(p)
@@ -29,7 +60,8 @@ let set t p s =
   if old <> s then begin
     t.map.(p) <- s;
     t.loads.(old) <- t.loads.(old) - 1;
-    t.loads.(s) <- t.loads.(s) + 1
+    t.loads.(s) <- t.loads.(s) + 1;
+    match t.jrn with None -> () | Some j -> journal_push j p
   end
 
 let load t s = t.loads.(s)

@@ -11,14 +11,37 @@
 
 type t
 
+type journal
+(** A move journal: the ids of processes whose server changed since the
+    journal was last drained.  Once attached (see {!journal}), every
+    effective {!set} appends the process id; redundant sets (same server)
+    are not recorded.  A process that moved twice appears twice — consumers
+    that need exact Hamming semantics should compare against a snapshot per
+    touched id (see {!Simulator}). *)
+
 val create : Instance.t -> t
 (** Initialized to the instance's initial assignment. *)
+
+val journal : t -> journal
+(** Attach (idempotently) and return the assignment's journal.  Lets the
+    simulator charge migrations in [O(moves)] instead of re-scanning all
+    [n] processes per request. *)
+
+val journal_clear : journal -> unit
+(** Forget any recorded moves (e.g. moves made during algorithm setup,
+    before simulation starts). *)
+
+val journal_drain : journal -> (int -> unit) -> unit
+(** [journal_drain j f] calls [f] on every recorded process id, in record
+    order, then clears the journal. *)
 
 val of_array : Instance.t -> int array -> t
 (** Copies the given map; validates server ids are in range (loads are not
     validated here — use {!max_load} / {!check_capacity}). *)
 
 val copy : t -> t
+(** Snapshot of the map and loads; the copy has no journal attached. *)
+
 val n : t -> int
 val server_of : t -> int -> int
 val set : t -> int -> int -> unit

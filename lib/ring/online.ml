@@ -3,7 +3,10 @@ type t = {
   augmentation : float;
   assignment : unit -> Assignment.t;
   serve : int -> unit;
+  journal : Assignment.journal option;
 }
 
 let make ~name ~augmentation ~assignment ~serve =
-  { name; augmentation; assignment; serve }
+  { name; augmentation; assignment; serve; journal = None }
+
+let with_journal journal t = { t with journal = Some journal }

@@ -16,10 +16,26 @@ type t = {
   name : string;
   augmentation : float;
   assignment : unit -> Assignment.t;
-      (** Current assignment.  Callers must treat it as read-only. *)
+      (** Current assignment.  Callers must treat it as read-only.
+
+          {b Contract}: this must return a {e live view} of the algorithm's
+          one mutable assignment — the same [Assignment.t] value on every
+          call, mutated in place by [serve] — {e not} a copy.  The simulator
+          relies on this: it caches the handle once per step (and the
+          incremental accounting path reads it across steps), so a fresh
+          copy per call would silently decouple cost accounting from the
+          algorithm's real state. *)
   serve : int -> unit;
       (** React to a request on ring edge [(e, e+1 mod n)]: optionally
           migrate processes. *)
+  journal : Assignment.journal option;
+      (** The move journal of the algorithm's assignment, when the
+          algorithm supports incremental accounting (see
+          {!Assignment.journal}).  When present, the simulator charges
+          migration, tracks loads and checks capacity in [O(moves + 1)] per
+          request instead of re-scanning all [n] processes and [ell]
+          servers; when absent it falls back to the [O(n + ell)]
+          {!Assignment.diff_into} scan. *)
 }
 
 val make :
@@ -28,3 +44,10 @@ val make :
   assignment:(unit -> Assignment.t) ->
   serve:(int -> unit) ->
   t
+(** Builds a journal-less algorithm ([journal = None]); the simulator uses
+    the full-scan accounting fallback for it. *)
+
+val with_journal : Assignment.journal -> t -> t
+(** [with_journal j t] declares that [t] supports incremental accounting.
+    [j] must be the journal of the same assignment returned by
+    [t.assignment] (i.e. [Assignment.journal (t.assignment ())]). *)

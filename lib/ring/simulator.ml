@@ -1,3 +1,5 @@
+type accounting = [ `Auto | `Incremental | `Diff | `Check ]
+
 type result = {
   cost : Cost.t;
   steps : int;
@@ -6,8 +8,14 @@ type result = {
   per_step : (int * int) array option;
 }
 
-let run ?(strict = true) ?(record_steps = false) ?on_step (inst : Instance.t)
-    (alg : Online.t) trace ~steps =
+(* Largest integer load that satisfies [load <= augmentation * k + 1e-9] —
+   the same tolerance as Assignment.check_capacity, precomputed so the
+   incremental path compares integers. *)
+let capacity_cap (inst : Instance.t) ~augmentation =
+  int_of_float ((augmentation *. float_of_int inst.Instance.k) +. 1e-9)
+
+let run ?(strict = true) ?(record_steps = false) ?on_step ?(accounting = `Auto)
+    (inst : Instance.t) (alg : Online.t) trace ~steps =
   if steps < 0 then invalid_arg "Simulator.run: negative steps";
   Trace.validate ~n:inst.Instance.n trace ~steps;
   let cost = Cost.zero () in
@@ -15,27 +23,126 @@ let run ?(strict = true) ?(record_steps = false) ?on_step (inst : Instance.t)
   let max_load = ref (Assignment.max_load shadow) in
   let violations = ref 0 in
   let series = if record_steps then Array.make steps (0, 0) else [||] in
+  let journal =
+    match (accounting, alg.Online.journal) with
+    | `Diff, _ -> None
+    | `Auto, j -> j
+    | (`Incremental | `Check), (Some _ as j) -> j
+    | (`Incremental | `Check), None ->
+        invalid_arg
+          (Printf.sprintf "Simulator.run: %s exposes no move journal"
+             alg.Online.name)
+  in
+  let account, capacity_ok =
+    match journal with
+    | None ->
+        (* O(n + ell) fallback: full diff scan and load re-scan per request *)
+        let account current =
+          let moved = Assignment.diff_into current shadow in
+          let load = Assignment.max_load current in
+          if load > !max_load then max_load := load;
+          moved
+        in
+        let capacity_ok current =
+          Assignment.check_capacity current
+            ~augmentation:alg.Online.augmentation
+        in
+        (account, capacity_ok)
+    | Some j ->
+        (* O(moves + 1) incremental accounting off the move journal.  The
+           shadow is advanced per touched process (deduplicated against the
+           current state, so back-and-forth moves within one step charge the
+           Hamming distance, exactly like diff_into); server loads cross the
+           capacity boundary at most once per unit change, so a running
+           count of over-capacity servers stays exact.  The running maximum
+           load is only checked on destination servers *after* the whole
+           step is applied: mid-step transients (a process arriving before
+           another departs) are not observable states of the model. *)
+        let cap = capacity_cap inst ~augmentation:alg.Online.augmentation in
+        let over = ref 0 in
+        Array.iter
+          (fun load -> if load > cap then incr over)
+          (Assignment.loads shadow);
+        let dsts = ref [] in
+        (* setup-time moves (algorithm construction) predate the simulation
+           and are already reflected in the shadow snapshot *)
+        Assignment.journal_clear j;
+        let oracle =
+          match accounting with
+          | `Check -> Some (Assignment.copy shadow)
+          | _ -> None
+        in
+        let account current =
+          let moved = ref 0 in
+          Assignment.journal_drain j (fun p ->
+              let s_new = Assignment.server_of current p in
+              let s_old = Assignment.server_of shadow p in
+              if s_old <> s_new then begin
+                incr moved;
+                Assignment.set shadow p s_new;
+                if Assignment.load shadow s_new = cap + 1 then incr over;
+                if Assignment.load shadow s_old = cap then decr over;
+                dsts := s_new :: !dsts
+              end);
+          List.iter
+            (fun s ->
+              let load = Assignment.load shadow s in
+              if load > !max_load then max_load := load)
+            !dsts;
+          dsts := [];
+          (match oracle with
+          | None -> ()
+          | Some oracle ->
+              let d = Assignment.diff_into current oracle in
+              if d <> !moved then
+                failwith
+                  (Printf.sprintf
+                     "Simulator.run: %s journal accounting charged %d \
+                      migrations where diff_into charges %d"
+                     alg.Online.name !moved d);
+              if Assignment.hamming shadow oracle <> 0 then
+                failwith
+                  (Printf.sprintf
+                     "Simulator.run: %s journal shadow diverged from the \
+                      diff_into oracle"
+                     alg.Online.name);
+              let ok_inc = !over = 0 in
+              let ok_oracle =
+                Assignment.check_capacity current
+                  ~augmentation:alg.Online.augmentation
+              in
+              if ok_inc <> ok_oracle then
+                failwith
+                  (Printf.sprintf
+                     "Simulator.run: %s incremental capacity check disagrees \
+                      with check_capacity"
+                     alg.Online.name));
+          !moved
+        in
+        let capacity_ok _current = !over = 0 in
+        (account, capacity_ok)
+  in
   for t = 0 to steps - 1 do
+    (* one live handle per step: Online.assignment is contractually a live
+       view, so the post-serve state is visible through the same handle *)
     let current = alg.Online.assignment () in
     let e = Trace.next trace t current in
     if e < 0 || e >= inst.Instance.n then
       invalid_arg "Simulator.run: trace produced edge out of range";
     if Assignment.cuts_edge current e then cost.Cost.comm <- cost.Cost.comm + 1;
     alg.Online.serve e;
-    let after = alg.Online.assignment () in
-    let moved = Assignment.diff_into after shadow in
+    let moved = account current in
     cost.Cost.mig <- cost.Cost.mig + moved;
-    let load = Assignment.max_load after in
-    if load > !max_load then max_load := load;
-    if not (Assignment.check_capacity after ~augmentation:alg.Online.augmentation)
-    then begin
+    if not (capacity_ok current) then begin
       incr violations;
       if strict then
         failwith
           (Printf.sprintf
              "Simulator.run: %s violated capacity at step %d (max load %d, \
               claimed augmentation %.3f, k=%d)"
-             alg.Online.name t load alg.Online.augmentation inst.Instance.k)
+             alg.Online.name t
+             (Assignment.max_load current)
+             alg.Online.augmentation inst.Instance.k)
     end;
     if record_steps then series.(t) <- (cost.Cost.comm, cost.Cost.mig);
     match on_step with None -> () | Some f -> f t cost

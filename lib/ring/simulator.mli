@@ -14,7 +14,27 @@
       default, or records them when [strict:false] for diagnostic runs).
 
     The per-step hook receives cumulative costs and supports time-series
-    experiments (cost curves, crossover plots) without a second run. *)
+    experiments (cost curves, crossover plots) without a second run.
+
+    {2 Accounting modes}
+
+    Historically every step paid an [O(n)] {!Assignment.diff_into} scan for
+    migrations plus [O(ell)] load scans for the running maximum and the
+    capacity check — even when the algorithm moved nothing.  Algorithms
+    that expose a move journal ({!Online.t.journal}) are instead charged
+    incrementally in [O(moves + 1)] per request; the full-scan path remains
+    both as the fallback for journal-less algorithms and as a cross-check
+    oracle ([`Check]) used by the test suite.  All modes produce identical
+    results. *)
+
+type accounting = [ `Auto | `Incremental | `Diff | `Check ]
+(** [`Auto] (default): incremental when the algorithm exposes a journal,
+    full-scan otherwise.  [`Incremental]: require the journal (raises
+    [Invalid_argument] if absent).  [`Diff]: force the full-scan path even
+    when a journal is available.  [`Check]: run the incremental path {e and}
+    verify it against the full-scan oracle after every step, raising
+    [Failure] on any divergence in migration charges, shadow state or
+    capacity verdicts. *)
 
 type result = {
   cost : Cost.t;
@@ -29,6 +49,7 @@ val run :
   ?strict:bool ->
   ?record_steps:bool ->
   ?on_step:(int -> Cost.t -> unit) ->
+  ?accounting:accounting ->
   Instance.t ->
   Online.t ->
   Trace.t ->
@@ -38,7 +59,8 @@ val run :
     @param strict raise [Failure] on a capacity violation (default [true])
     @param record_steps keep the cumulative cost series (default [false])
     @param on_step called after each step with the step index and cumulative
-    cost *)
+    cost
+    @param accounting migration/load accounting mode (default [`Auto]) *)
 
 val replay_cost : Instance.t -> int array -> assignments:int array array -> Cost.t
 (** [replay_cost inst trace ~assignments] computes the cost of an arbitrary

@@ -12,7 +12,7 @@ let of_weights w =
   if not (!total > 0.0) then invalid_arg "Dist.of_weights: zero total mass";
   Array.map (fun v -> v /. !total) w
 
-let of_grad g =
+let grad_total g =
   let n = Array.length g in
   if n = 0 then invalid_arg "Dist.of_grad: empty";
   let total = ref 0.0 in
@@ -23,7 +23,19 @@ let of_grad g =
   done;
   if Float.abs (!total -. 1.0) > 1e-6 then
     invalid_arg "Dist.of_grad: not normalized";
-  Array.map (fun v -> v /. !total) g
+  !total
+
+let of_grad g =
+  let total = grad_total g in
+  Array.map (fun v -> v /. total) g
+
+let of_grad_into g (dst : t) =
+  if Array.length g <> Array.length dst then
+    invalid_arg "Dist.of_grad_into: size mismatch";
+  let total = grad_total g in
+  for i = 0 to Array.length g - 1 do
+    dst.(i) <- g.(i) /. total
+  done
 
 let uniform n =
   if n <= 0 then invalid_arg "Dist.uniform: n must be positive";

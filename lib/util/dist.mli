@@ -28,6 +28,13 @@ val of_grad : float array -> t
 (** Trusts an already-normalized vector (e.g. a {!Smin} gradient); verifies
     normalization up to 1e-6 and renormalizes exactly. *)
 
+val of_grad_into : float array -> t -> unit
+(** [of_grad_into g dst] is {!of_grad} writing into an existing
+    distribution buffer of the same size (e.g. one created by {!uniform}) —
+    the allocation-free form used by the per-request MTS solver loops.
+    Performs the same validation and exact renormalization as {!of_grad},
+    so the result is bit-identical. *)
+
 val uniform : int -> t
 val point : int -> n:int -> t
 

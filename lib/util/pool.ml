@@ -1,0 +1,88 @@
+(* Work-stealing-lite: a shared atomic cursor hands out fixed-size chunks of
+   the input to whichever domain is free.  Each result is written to its own
+   slot, so ordering is positional and never depends on the schedule; the
+   only cross-domain communication is the cursor and the first-error cell. *)
+
+let override = Atomic.make None
+
+let set_domains d =
+  (match d with
+  | Some d when d < 1 -> invalid_arg "Pool.set_domains: need at least 1 domain"
+  | _ -> ());
+  Atomic.set override d
+
+let env_domains () =
+  match Sys.getenv_opt "RBGP_DOMAINS" with
+  | None | Some "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> Some d
+      | _ -> None)
+
+let domains () =
+  match Atomic.get override with
+  | Some d -> d
+  | None -> (
+      match env_domains () with
+      | Some d -> d
+      | None -> Stdlib.max 1 (Domain.recommended_domain_count ()))
+
+(* Keep the error of the smallest input index, as a sequential loop would
+   raise it first. *)
+let record_error cell i exn bt =
+  let rec loop () =
+    let prev = Atomic.get cell in
+    let keep =
+      match prev with None -> true | Some (j, _, _) -> i < j
+    in
+    if keep && not (Atomic.compare_and_set cell prev (Some (i, exn, bt))) then
+      loop ()
+  in
+  loop ()
+
+let map ?domains:d f items =
+  let n = Array.length items in
+  let d = match d with Some d -> Stdlib.max 1 d | None -> domains () in
+  if d = 1 || n <= 1 then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let cursor = Atomic.make 0 in
+    (* small chunks for load balance, but at least 1 so the cursor always
+       advances; 8 chunks per domain amortizes the atomic traffic *)
+    let chunk = Stdlib.max 1 (n / (d * 8)) in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start >= n then continue := false
+        else
+          let stop = Stdlib.min n (start + chunk) in
+          for i = start to stop - 1 do
+            if Atomic.get error = None then
+              try results.(i) <- Some (f items.(i))
+              with e -> record_error error i e (Printexc.get_raw_backtrace ())
+          done
+      done
+    in
+    let spawned = List.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (match Atomic.get error with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None ->
+            (* unreachable without an error, which was re-raised above *)
+            assert false)
+      results
+  end
+
+let map_list ?domains f items =
+  Array.to_list (map ?domains f (Array.of_list items))
+
+let map_seeded ?domains ~rng f items =
+  let tasks = Array.map (fun x -> (Rng.split rng, x)) items in
+  map ?domains (fun (child, x) -> f child x) tasks

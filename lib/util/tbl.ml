@@ -85,3 +85,9 @@ let cell_f v =
   else Printf.sprintf "%.3f" v
 
 let cell_i = string_of_int
+
+let cell_ratio r =
+  if Float.is_nan r then "nan"
+  else if r = Float.infinity then "inf"
+  else if r = Float.neg_infinity then "-inf"
+  else Printf.sprintf "%.2f" r

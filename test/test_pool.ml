@@ -1,0 +1,201 @@
+(* Tests for the deterministic work pool and the incremental (journal)
+   simulator accounting.
+
+   The pool's contract is that parallel execution is observationally
+   identical to sequential execution: same results, same order, same
+   surfaced exception, same experiment tables byte for byte.  The journal's
+   contract is that O(moves+1) incremental accounting bills exactly what
+   the O(n+ell) diff/scan oracle bills, on every algorithm and any trace. *)
+
+module Rng = Rbgp_util.Rng
+module Pool = Rbgp_util.Pool
+module Simulator = Rbgp_ring.Simulator
+module Trace = Rbgp_ring.Trace
+module Cost = Rbgp_ring.Cost
+module Runner = Rbgp_harness.Runner
+module Report = Rbgp_harness.Report
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Pool ----------------------------------------------------------- *)
+
+let test_map_matches_sequential () =
+  let items = Array.init 257 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expected = Array.map f items in
+  List.iter
+    (fun d ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d" d)
+        expected
+        (Pool.map ~domains:d f items))
+    [ 1; 2; 4; 7 ]
+
+let test_map_empty_and_single () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.map ~domains:4 succ [||]);
+  Alcotest.(check (array int)) "single" [| 3 |] (Pool.map ~domains:4 succ [| 2 |])
+
+let test_map_list_order () =
+  let l = List.init 100 (fun i -> i) in
+  Alcotest.(check (list int))
+    "order preserved"
+    (List.map (fun x -> 3 * x) l)
+    (Pool.map_list ~domains:4 (fun x -> 3 * x) l)
+
+exception Boom of int
+
+let test_map_first_error () =
+  (* several items raise; the pool must surface the smallest index, like a
+     sequential loop would *)
+  let items = Array.init 64 (fun i -> i) in
+  let f x = if x mod 10 = 3 then raise (Boom x) else x in
+  List.iter
+    (fun d ->
+      Alcotest.check_raises
+        (Printf.sprintf "first error, domains=%d" d)
+        (Boom 3)
+        (fun () -> ignore (Pool.map ~domains:d f items)))
+    [ 1; 4 ]
+
+let test_map_seeded_deterministic () =
+  let run d =
+    Pool.map_seeded ~domains:d ~rng:(Rng.create 99)
+      (fun rng x -> (x, Rng.int rng 1_000_000, Rng.int rng 1_000_000))
+      (Array.init 50 (fun i -> i))
+  in
+  let seq =
+    let rng = Rng.create 99 in
+    Array.map
+      (fun x ->
+        let child = Rng.split rng in
+        (x, Rng.int child 1_000_000, Rng.int child 1_000_000))
+      (Array.init 50 (fun i -> i))
+  in
+  Alcotest.(check bool) "matches sequential" true (run 1 = seq);
+  Alcotest.(check bool) "matches with 4 domains" true (run 4 = seq)
+
+let test_set_domains () =
+  Pool.set_domains (Some 3);
+  Alcotest.(check int) "override" 3 (Pool.domains ());
+  Pool.set_domains None;
+  Alcotest.(check bool) "auto >= 1" true (Pool.domains () >= 1);
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Pool.set_domains: need at least 1 domain") (fun () ->
+      Pool.set_domains (Some 0))
+
+(* --- experiment tables: parallel == sequential byte for byte --------- *)
+
+let with_stdout_captured f =
+  flush stdout;
+  let path = Filename.temp_file "rbgp_pool_test" ".txt" in
+  let saved = Unix.dup Unix.stdout in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  Fun.protect f ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved);
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      (fun () -> really_input_string ic (in_channel_length ic))
+      ~finally:(fun () -> close_in ic)
+  in
+  Sys.remove path;
+  s
+
+let table_of id domains =
+  Pool.set_domains (Some domains);
+  Fun.protect
+    (fun () ->
+      with_stdout_captured (fun () -> Report.run ~quick:true ~seed:42 id))
+    ~finally:(fun () -> Pool.set_domains None)
+
+let test_experiment_determinism id () =
+  let seq = table_of id 1 in
+  let par = table_of id 4 in
+  Alcotest.(check bool)
+    (id ^ " quick table nonempty")
+    true
+    (String.length seq > 0);
+  Alcotest.(check string) (id ^ " parallel == sequential") seq par
+
+(* --- journal accounting vs the diff/scan oracle ---------------------- *)
+
+let all_specs = Runner.core_algorithms ~epsilon:0.5 @ Runner.baseline_algorithms ~epsilon:0.5
+
+let gen_case =
+  QCheck2.Gen.(
+    let* ell = oneofl [ 2; 3; 4 ] in
+    let* blocks = int_range 2 6 in
+    let n = ell * blocks in
+    let* steps = int_range 1 120 in
+    let* seed = int_range 0 10_000 in
+    let* trace = array_size (return steps) (int_range 0 (n - 1)) in
+    return (n, ell, seed, trace))
+
+let run_with accounting (spec : Runner.alg_spec) (n, ell, seed, trace) =
+  let inst = Runner.instance ~n ~ell in
+  let alg = spec.Runner.build inst ~trace ~seed in
+  Simulator.run ~strict:false ~accounting inst alg (Trace.fixed trace)
+    ~steps:(Array.length trace)
+
+(* `Check runs the incremental path and verifies every step against the
+   diff_into/scan oracle internally, raising Failure on any divergence *)
+let prop_check_mode case =
+  List.for_all
+    (fun (spec : Runner.alg_spec) ->
+      let r = run_with `Check spec case in
+      r.Simulator.steps = Array.length (let _, _, _, t = case in t))
+    all_specs
+
+(* identically-seeded algorithms must produce identical result records
+   under forced-incremental and forced-diff accounting *)
+let prop_diff_vs_incremental case =
+  List.for_all
+    (fun (spec : Runner.alg_spec) ->
+      let a = run_with `Incremental spec case in
+      let b = run_with `Diff spec case in
+      a.Simulator.cost = b.Simulator.cost
+      && a.Simulator.max_load = b.Simulator.max_load
+      && a.Simulator.capacity_violations = b.Simulator.capacity_violations)
+    all_specs
+
+let prop_mts_variants_check case =
+  List.for_all
+    (fun (spec : Runner.alg_spec) ->
+      let r = run_with `Check spec case in
+      Cost.total r.Simulator.cost >= 0)
+    (Runner.mts_variants ~epsilon:0.5)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches sequential" `Quick
+            test_map_matches_sequential;
+          Alcotest.test_case "empty and single" `Quick test_map_empty_and_single;
+          Alcotest.test_case "map_list order" `Quick test_map_list_order;
+          Alcotest.test_case "first error wins" `Quick test_map_first_error;
+          Alcotest.test_case "map_seeded deterministic" `Quick
+            test_map_seeded_deterministic;
+          Alcotest.test_case "set_domains" `Quick test_set_domains;
+        ] );
+      ( "experiment determinism",
+        [
+          Alcotest.test_case "e8 quick" `Quick (test_experiment_determinism "e8");
+          Alcotest.test_case "e9 quick" `Quick (test_experiment_determinism "e9");
+        ] );
+      ( "journal accounting",
+        [
+          qtest ~count:40 "incremental matches oracle (core + baselines)"
+            gen_case prop_check_mode;
+          qtest ~count:40 "diff == incremental results"
+            gen_case prop_diff_vs_incremental;
+          qtest ~count:20 "mts variants under check mode"
+            gen_case prop_mts_variants_check;
+        ] );
+    ]
