@@ -21,7 +21,7 @@ bench:
 # (BENCH_1.json: component ns/run + r^2, per-experiment wall clock,
 # parallel-vs-sequential speedup); this target just validates it parses
 bench-json: bench
-	@python3 -c "import json; json.load(open('BENCH_1.json')); print('BENCH_1.json: valid JSON')"
+	@python3 -c "import json; json.load(open('BENCH_2.json')); print('BENCH_2.json: valid JSON')"
 
 experiments:
 	dune exec bin/rbgp_cli.exe -- exp all | tee experiments_full.txt

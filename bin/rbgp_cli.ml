@@ -40,6 +40,25 @@ let domains_arg =
            Defaults to \\$(b,RBGP_DOMAINS) or the machine's recommended \
            domain count; results are byte-identical for any value.")
 
+let grain_arg =
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some g when g >= 1 -> Ok g
+      | _ -> Error (`Msg "expected a positive integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "grain" ] ~docv:"G"
+        ~doc:
+          "Work-pool scheduling grain: how many grid cells a domain claims \
+           per trip to the shared cursor.  Defaults to \\$(b,RBGP_GRAIN) or \
+           an automatic per-job value (about eight chunks per domain); the \
+           grain changes the schedule, never the results.")
+
 (* --- exp ------------------------------------------------------------ *)
 
 let exp_ids = "all" :: List.map (fun (id, _, _) -> id) Rbgp_harness.Report.all
@@ -54,15 +73,17 @@ let exp_id_arg =
     & info [] ~docv:"EXPERIMENT" ~doc)
 
 let exp_cmd =
-  let run id quick seed domains verbose =
+  let run id quick seed domains grain verbose =
     setup_logs verbose;
     Rbgp_util.Pool.set_domains domains;
+    Rbgp_util.Pool.set_grain grain;
     Rbgp_harness.Report.run ~quick ~seed id
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run one of the E1-E13 experiments (see DESIGN.md).")
     Term.(
-      const run $ exp_id_arg $ quick_arg $ seed_arg $ domains_arg $ verbose_arg)
+      const run $ exp_id_arg $ quick_arg $ seed_arg $ domains_arg $ grain_arg
+      $ verbose_arg)
 
 (* --- sim ------------------------------------------------------------ *)
 

@@ -1,21 +1,46 @@
 type schedule = { states : int array; cost : float }
 
-let transform_into metric (src : float array) (dst : float array) =
-  let s = Array.length src in
+(* In-place distance transforms over the first [len] entries of [a]:
+   a.(i) <- min over j of (a.(j) + d(i, j)).
+
+   On the line the transform is the classic two-sweep lower envelope; the
+   per-row argmin is monotone in [i], which is exactly what lets one
+   forward and one backward relaxation replace the O(len^2) minimum.  On
+   the uniform metric the transform clamps everything to (global min) + 1.
+   Both run in O(len) with zero allocation — earlier versions staged the
+   result through a scratch buffer and blitted it back, which doubled the
+   memory traffic of the hottest comparator loop (the per-request cost of
+   the segmented static OPT and the per-interval MTS OPT). *)
+
+let transform_line_inplace (a : float array) len =
+  for i = 1 to len - 1 do
+    if a.(i - 1) +. 1.0 < a.(i) then a.(i) <- a.(i - 1) +. 1.0
+  done;
+  for i = len - 2 downto 0 do
+    if a.(i + 1) +. 1.0 < a.(i) then a.(i) <- a.(i + 1) +. 1.0
+  done
+
+let transform_uniform_inplace (a : float array) len =
+  let mn = ref a.(0) in
+  for i = 1 to len - 1 do
+    if a.(i) < !mn then mn := a.(i)
+  done;
+  let cap = !mn +. 1.0 in
+  for i = 0 to len - 1 do
+    if cap < a.(i) then a.(i) <- cap
+  done
+
+let transform_inplace metric (a : float array) len =
   match (metric : Metric.t) with
-  | Metric.Line _ ->
-      Array.blit src 0 dst 0 s;
-      for i = 1 to s - 1 do
-        if dst.(i - 1) +. 1.0 < dst.(i) then dst.(i) <- dst.(i - 1) +. 1.0
-      done;
-      for i = s - 2 downto 0 do
-        if dst.(i + 1) +. 1.0 < dst.(i) then dst.(i) <- dst.(i + 1) +. 1.0
-      done
-  | Metric.Uniform _ ->
-      let m = Array.fold_left Float.min src.(0) src in
-      for i = 0 to s - 1 do
-        dst.(i) <- Float.min src.(i) (m +. 1.0)
-      done
+  | Metric.Line _ -> transform_line_inplace a len
+  | Metric.Uniform _ -> transform_uniform_inplace a len
+
+let min_prefix (a : float array) len =
+  let mn = ref a.(0) in
+  for i = 1 to len - 1 do
+    if a.(i) < !mn then mn := a.(i)
+  done;
+  !mn
 
 let check_tasks metric tasks =
   let s = Metric.size metric in
@@ -37,33 +62,46 @@ let run_dp metric ~start tasks =
   check_tasks metric tasks;
   let s = Metric.size metric in
   let opt = Array.init s (fun i -> float_of_int (Metric.distance metric start i)) in
-  let buf = Array.make s 0.0 in
   let history = Array.map (fun _ -> Array.make s 0.0) tasks in
   Array.iteri
     (fun t task ->
-      transform_into metric opt buf;
+      transform_inplace metric opt s;
       for x = 0 to s - 1 do
-        opt.(x) <- buf.(x) +. task.(x)
+        opt.(x) <- opt.(x) +. task.(x)
       done;
       Array.blit opt 0 history.(t) 0 s)
     tasks;
   (opt, history)
 
 let opt_cost metric ~start tasks =
+  Metric.check_state metric start;
+  check_tasks metric tasks;
   if Array.length tasks = 0 then 0.0
-  else
-    let opt, _ = run_dp metric ~start tasks in
-    Array.fold_left Float.min opt.(0) opt
+  else begin
+    (* cost-only pass: no history materialized *)
+    let s = Metric.size metric in
+    let opt =
+      Array.init s (fun i -> float_of_int (Metric.distance metric start i))
+    in
+    Array.iter
+      (fun task ->
+        transform_inplace metric opt s;
+        for x = 0 to s - 1 do
+          opt.(x) <- opt.(x) +. task.(x)
+        done)
+      tasks;
+    min_prefix opt s
+  end
 
 let opt_schedule metric ~start tasks =
   let steps = Array.length tasks in
   if steps = 0 then { states = [||]; cost = 0.0 }
   else begin
     let opt, history = run_dp metric ~start tasks in
-    let cost = Array.fold_left Float.min opt.(0) opt in
+    let s = Metric.size metric in
+    let cost = min_prefix opt s in
     (* Backward reconstruction: choose end state achieving the optimum, then
        for each step pick a predecessor consistent with the DP values. *)
-    let s = Metric.size metric in
     let states = Array.make steps 0 in
     let best_end = ref 0 in
     for x = 1 to s - 1 do
@@ -102,6 +140,21 @@ let opt_schedule metric ~start tasks =
     { states; cost }
   end
 
+(* --- indicator-task specializations --------------------------------- *)
+
+(* Reusable DP buffer, grown on demand, in the spirit of
+   [Dist.of_grad_into]: callers that evaluate many per-interval optima
+   (the windowed lower bound, the interval comparator of Lemma 3.3) pass
+   one scratch and the DP stops allocating per call.  Only the first
+   [Metric.size] entries are touched. *)
+type scratch = { mutable buf : float array }
+
+let scratch () = { buf = [||] }
+
+let scratch_buf sc len =
+  if Array.length sc.buf < len then sc.buf <- Array.make len 0.0;
+  sc.buf
+
 let opt_cost_indicators metric ~start es =
   Metric.check_state metric start;
   let s = Metric.size metric in
@@ -111,30 +164,33 @@ let opt_cost_indicators metric ~start es =
     let opt =
       Array.init s (fun i -> float_of_int (Metric.distance metric start i))
     in
-    let buf = Array.make s 0.0 in
     Array.iter
       (fun e ->
-        transform_into metric opt buf;
-        Array.blit buf 0 opt 0 s;
+        transform_inplace metric opt s;
         opt.(e) <- opt.(e) +. 1.0)
       es;
-    Array.fold_left Float.min opt.(0) opt
+    min_prefix opt s
   end
 
-let opt_cost_indicators_free metric es =
+let opt_cost_indicators_free ?scratch metric es =
   let s = Metric.size metric in
   Array.iter (fun e -> Metric.check_state metric e) es;
   if Array.length es = 0 then 0.0
   else begin
-    let opt = Array.make s 0.0 in
-    let buf = Array.make s 0.0 in
+    let opt =
+      match scratch with
+      | Some sc ->
+          let buf = scratch_buf sc s in
+          Array.fill buf 0 s 0.0;
+          buf
+      | None -> Array.make s 0.0
+    in
     Array.iter
       (fun e ->
-        transform_into metric opt buf;
-        Array.blit buf 0 opt 0 s;
+        transform_inplace metric opt s;
         opt.(e) <- opt.(e) +. 1.0)
       es;
-    Array.fold_left Float.min opt.(0) opt
+    min_prefix opt s
   end
 
 let static_opt_indicators metric ~start es =

@@ -3,9 +3,14 @@
     [opt_t(s)] — the cheapest cost of serving the first [t] tasks and ending
     in state [s] — satisfies
     [opt_t(s) = min over s' of (opt_(t-1)(s') + d(s', s)) + T_t(s)].
-    The inner minimum is a distance transform: O(s) per step on the line
-    (two sweeps) and on the uniform metric (global min).  Total runtime
-    O(T s); schedule reconstruction via backpointer-free re-derivation.
+    The inner minimum is a distance transform, computed {e in place}: O(s)
+    per step on the line (two sweeps — the per-row argmin is monotone, so
+    one forward and one backward relaxation replace the quadratic minimum)
+    and on the uniform metric (global min + clamp).  Total runtime O(T s)
+    with no per-request allocation; cost-only queries skip the history
+    matrix entirely, and the indicator specializations accept a reusable
+    {!scratch} so grids of per-interval optima allocate nothing per call.
+    Schedule reconstruction via backpointer-free re-derivation.
 
     This is the comparator of Lemma 3.3 ([OPT_MTS(I)]), the certifier for
     the per-interval lower bounds on dynamic OPT (Lemma 4.15 analogue used
@@ -28,12 +33,21 @@ val opt_cost_indicators : Metric.t -> start:int -> int array -> float
     [opt_cost_indicators m ~start es] equals
     [opt_cost m ~start (map (indicator ~n) es)] but builds no vectors. *)
 
-val opt_cost_indicators_free : Metric.t -> int array -> float
+type scratch
+(** A reusable DP buffer (grown on demand, like {!Rbgp_util.Dist.of_grad_into}'s
+    destination): pass the same scratch to many indicator-DP calls and the
+    solver stops allocating per call.  Not safe to share across domains —
+    give each {!Rbgp_util.Pool} task its own. *)
+
+val scratch : unit -> scratch
+
+val opt_cost_indicators_free : ?scratch:scratch -> Metric.t -> int array -> float
 (** Like {!opt_cost_indicators} but with a free choice of start state (no
     initial movement charge) — the comparator shape used for per-interval
     optima ([OPT_MTS(I)], Lemma 3.3) and for the windowed dynamic lower
     bound, where the offline schedule already owns a position when the
-    window's accounting begins. *)
+    window's accounting begins.  [?scratch] reuses the given buffer for the
+    DP layer instead of allocating one. *)
 
 val static_opt_indicators : Metric.t -> start:int -> int array -> float
 (** Cheapest *static* strategy: pick one state [p] up front, pay

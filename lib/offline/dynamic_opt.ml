@@ -6,7 +6,49 @@ type t = {
   states : int array array;  (* each state = assignment array of length n *)
   dist : int array array;  (* pairwise Hamming distances *)
   initial_dist : int array;  (* distance from the initial assignment *)
+  class_of : int array;  (* symmetry class id of each state (interned) *)
+  class_count : int;
 }
+
+(* --- symmetry canonicalization -------------------------------------- *)
+
+(* Canonical form under the two structural symmetries of the cost model:
+   ring rotation (requests and migrations only see relative positions) and
+   server relabeling (Hamming distance and edge crossings are invariant
+   under applying one permutation of server names to both arguments).  For
+   every rotation offset we relabel servers in order of first appearance
+   and keep the lexicographically smallest result.  Two states in the same
+   orbit have identical crossing structure and identical pairwise-distance
+   rows up to the induced permutation of the state space; the DP below
+   cannot quotient by the orbit (the fixed initial assignment breaks the
+   symmetry through migration costs), but the canonical key is what the
+   enumeration interns to count classes, and it powers the shared-table
+   cache hash. *)
+let canonical a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let colors = Array.fold_left Stdlib.max 0 a + 1 in
+    let best = ref None in
+    let relabel = Array.make colors (-1) in
+    let cand = Array.make n 0 in
+    for r = 0 to n - 1 do
+      Array.fill relabel 0 colors (-1);
+      let next = ref 0 in
+      for p = 0 to n - 1 do
+        let v = a.((p + r) mod n) in
+        if relabel.(v) < 0 then begin
+          relabel.(v) <- !next;
+          incr next
+        end;
+        cand.(p) <- relabel.(v)
+      done;
+      match !best with
+      | Some b when compare b cand <= 0 -> ()
+      | _ -> best := Some (Array.copy cand)
+    done;
+    match !best with Some b -> b | None -> assert false
+  end
 
 let enumerate_states (inst : Instance.t) ?(max_states = 3000) () =
   let n = inst.Instance.n and ell = inst.Instance.ell and k = inst.Instance.k in
@@ -54,46 +96,201 @@ let enumerate_states (inst : Instance.t) ?(max_states = 3000) () =
     done
   done;
   let initial_dist = Array.map (hamming inst.Instance.initial) states in
-  { inst; states; dist; initial_dist }
+  (* intern canonical forms: states in one rotation/relabeling orbit share
+     one hashtable entry and one class id *)
+  let classes : (int array, int) Hashtbl.t = Hashtbl.create (Stdlib.max 16 m) in
+  let class_of =
+    Array.map
+      (fun s ->
+        let key = canonical s in
+        match Hashtbl.find_opt classes key with
+        | Some id -> id
+        | None ->
+            let id = Hashtbl.length classes in
+            Hashtbl.add classes key id;
+            id)
+      states
+  in
+  { inst; states; dist; initial_dist; class_of; class_count = Hashtbl.length classes }
 
 let state_count t = Array.length t.states
+let symmetry_class_count t = t.class_count
 
-let run_dp t trace =
+(* --- shared-table cache ---------------------------------------------- *)
+
+(* Enumeration is O(m^2 n) (the distance matrix dominates) and the harness,
+   tests and bench rebuild the same handful of tiny instances over and over
+   — once per qcheck case, once per experiment, once per fan-out.  A
+   process-wide memo keyed by the exact instance shape makes every rebuild
+   after the first free.  The canonical form of the initial assignment is
+   folded into the hash key (cheap, high-entropy); equality remains exact.
+   A mutex makes the cache safe to consult from pool workers; the table
+   itself is immutable once built and is shared read-only. *)
+
+type cache_key = int * int * int * int array * int array
+
+let cache : (cache_key, t) Hashtbl.t = Hashtbl.create 16
+let cache_mutex = Mutex.create ()
+
+let shared (inst : Instance.t) ?(max_states = 3000) () =
+  let key =
+    ( inst.Instance.n,
+      inst.Instance.ell,
+      inst.Instance.k,
+      inst.Instance.initial,
+      canonical inst.Instance.initial )
+  in
+  Mutex.lock cache_mutex;
+  match Hashtbl.find_opt cache key with
+  | Some t ->
+      Mutex.unlock cache_mutex;
+      if state_count t > max_states then
+        invalid_arg
+          (Printf.sprintf
+             "Dynamic_opt.enumerate_states: more than %d balanced \
+              configurations"
+             max_states);
+      t
+  | None ->
+      (* build outside the lock so slow enumerations don't serialize
+         unrelated lookups; a racing duplicate build is harmless (last
+         insert wins, both tables are equal) *)
+      Mutex.unlock cache_mutex;
+      let t = enumerate_states inst ~max_states () in
+      Mutex.lock cache_mutex;
+      if not (Hashtbl.mem cache key) then Hashtbl.add cache key t;
+      let t = Hashtbl.find cache key in
+      Mutex.unlock cache_mutex;
+      t
+
+(* --- reference solver (exhaustive transitions) ----------------------- *)
+
+(* The original full-enumeration Viterbi step: every state relaxes from
+   every state, O(m^2) per request.  Kept verbatim (modulo int costs) as
+   the cross-check oracle for the pruned solver. *)
+let run_dp_reference t trace =
   let n = t.inst.Instance.n in
   let m = Array.length t.states in
   let steps = Array.length trace in
-  let cost = Array.map float_of_int t.initial_dist in
+  let cost = Array.copy t.initial_dist in
+  let next = Array.make m 0 in
   let parent = Array.make_matrix steps m (-1) in
-  let comm = Array.make m 0.0 in
   Array.iteri
     (fun step e ->
       if e < 0 || e >= n then invalid_arg "Dynamic_opt: edge out of range";
+      let e' = (e + 1) mod n in
       for j = 0 to m - 1 do
         let s = t.states.(j) in
-        comm.(j) <- (if s.(e) <> s.((e + 1) mod n) then 1.0 else 0.0)
-      done;
-      let next = Array.make m infinity in
-      for j = 0 to m - 1 do
-        let best = ref infinity and arg = ref (-1) in
+        let comm = if s.(e) <> s.(e') then 1 else 0 in
+        let best = ref max_int and arg = ref (-1) in
+        let dj = t.dist.(j) in
         for i = 0 to m - 1 do
-          let v = cost.(i) +. float_of_int t.dist.(i).(j) in
+          let v = cost.(i) + dj.(i) in
           if v < !best then begin
             best := v;
             arg := i
           end
         done;
-        next.(j) <- !best +. comm.(j);
+        next.(j) <- !best + comm;
         parent.(step).(j) <- !arg
       done;
       Array.blit next 0 cost 0 m)
     trace;
   (cost, parent)
 
-let solve_schedule t trace =
+(* --- pruned solver ---------------------------------------------------- *)
+
+(* Dominance pruning.  Hamming distance obeys the triangle inequality, so
+   if cost(i) >= cost(i') + dist(i', i) every continuation of i can be
+   rerouted through i' at no extra cost: for all j,
+     cost(i) + d(i, j) >= cost(i') + d(i', i) + d(i, j) >= cost(i') + d(i', j).
+   Hence only non-dominated states need to relax their successors.  The
+   frontier is built in two stages: an O(m) filter against the global
+   argmin (which already removes the bulk — after one transform the spread
+   of the cost vector is at most the diameter n), then an exact pairwise
+   sweep over the survivors in ascending cost order.  Relaxation then runs
+   over frontier rows only, cache-friendly, O(|F| m) instead of O(m^2). *)
+let run_dp_pruned t trace =
+  let n = t.inst.Instance.n in
+  let m = Array.length t.states in
+  let steps = Array.length trace in
+  let cost = Array.copy t.initial_dist in
+  let next = Array.make m 0 in
+  let parent = Array.make_matrix steps m (-1) in
+  let candidate = Array.make m 0 in
+  let frontier = Array.make m 0 in
+  Array.iteri
+    (fun step e ->
+      if e < 0 || e >= n then invalid_arg "Dynamic_opt: edge out of range";
+      let e' = (e + 1) mod n in
+      (* stage 1: global argmin and min-dominance filter *)
+      let c = ref 0 in
+      for i = 1 to m - 1 do
+        if cost.(i) < cost.(!c) then c := i
+      done;
+      let c = !c in
+      let dc = t.dist.(c) and base = cost.(c) in
+      let ncand = ref 0 in
+      for i = 0 to m - 1 do
+        if i = c || cost.(i) < base + dc.(i) then begin
+          candidate.(!ncand) <- i;
+          incr ncand
+        end
+      done;
+      (* stage 2: exact pairwise dominance over the survivors, cheapest
+         first (a dominating state always costs no more than the dominated
+         one, so one forward pass suffices) *)
+      let cand = Array.sub candidate 0 !ncand in
+      Array.sort
+        (fun i j -> if cost.(i) <> cost.(j) then compare cost.(i) cost.(j) else compare i j)
+        cand;
+      let nf = ref 0 in
+      Array.iter
+        (fun i ->
+          let dominated = ref false in
+          let fi = ref 0 in
+          while (not !dominated) && !fi < !nf do
+            let j = frontier.(!fi) in
+            if cost.(j) + t.dist.(j).(i) <= cost.(i) && j <> i then
+              dominated := true;
+            incr fi
+          done;
+          if not !dominated then begin
+            frontier.(!nf) <- i;
+            incr nf
+          end)
+        cand;
+      (* relax successors from the frontier only *)
+      Array.fill next 0 m max_int;
+      let prow = parent.(step) in
+      for fi = 0 to !nf - 1 do
+        let i = frontier.(fi) in
+        let ci = cost.(i) in
+        let di = t.dist.(i) in
+        for j = 0 to m - 1 do
+          let v = ci + di.(j) in
+          if v < next.(j) then begin
+            next.(j) <- v;
+            prow.(j) <- i
+          end
+        done
+      done;
+      for j = 0 to m - 1 do
+        let s = t.states.(j) in
+        if s.(e) <> s.(e') then next.(j) <- next.(j) + 1
+      done;
+      Array.blit next 0 cost 0 m)
+    trace;
+  (cost, parent)
+
+let run_dp ?(reference = false) t trace =
+  if reference then run_dp_reference t trace else run_dp_pruned t trace
+
+let solve_schedule ?reference t trace =
   let steps = Array.length trace in
   if steps = 0 then ([||], Cost.zero ())
   else begin
-    let cost, parent = run_dp t trace in
+    let cost, parent = run_dp ?reference t trace in
     let m = Array.length t.states in
     let best = ref 0 in
     for j = 1 to m - 1 do
@@ -106,9 +303,9 @@ let solve_schedule t trace =
     done;
     let schedule = Array.map (fun i -> Array.copy t.states.(i)) idx in
     let c = Rbgp_ring.Simulator.replay_cost t.inst trace ~assignments:schedule in
-    if Cost.total c <> int_of_float cost.(!best) then
+    if Cost.total c <> cost.(!best) then
       failwith "Dynamic_opt.solve_schedule: replay disagrees with DP";
     (schedule, c)
   end
 
-let solve t trace = snd (solve_schedule t trace)
+let solve ?reference t trace = snd (solve_schedule ?reference t trace)

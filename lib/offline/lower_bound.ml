@@ -3,17 +3,29 @@ module Instance = Rbgp_ring.Instance
 (* Uniform-metric tracking DP with free start, specialized to one window:
    opt.(s) = cheapest (hits + switches) for a tracking sequence currently at
    edge s of the window.  Per request inside the window:
-   opt'(s) = min(opt(s), min_all + 1) + [s = requested]. *)
+   opt'(s) = min(opt(s), min_all + 1) + [s = requested].
+
+   Hits and switches are integer counts, so the DP runs on an int array
+   end-to-end (the float version forced the caller to truncate with
+   [int_of_float]).  The running minimum is carried across requests and
+   refreshed in the same pass that applies the relaxation, so each request
+   costs exactly one sweep and the final answer needs no extra fold (the
+   old fold also seeded with [opt.(0)] and visited it twice). *)
 let window_dp ~edges requests_iter =
   let m = edges in
-  let opt = Array.make m 0.0 in
+  let opt = Array.make m 0 in
+  let mn = ref 0 (* min over opt, maintained across requests *) in
   requests_iter (fun local_e ->
-      let mn = Array.fold_left Float.min opt.(0) opt in
+      let cap = !mn + 1 in
+      let new_mn = ref max_int in
       for s = 0 to m - 1 do
-        if mn +. 1.0 < opt.(s) then opt.(s) <- mn +. 1.0
+        let v = if opt.(s) > cap then cap else opt.(s) in
+        let v = if s = local_e then v + 1 else v in
+        opt.(s) <- v;
+        if v < !new_mn then new_mn := v
       done;
-      opt.(local_e) <- opt.(local_e) +. 1.0);
-  Array.fold_left Float.min opt.(0) opt
+      mn := !new_mn);
+  !mn
 
 let lb_for_offset (inst : Instance.t) trace offset =
   let n = inst.Instance.n and k = inst.Instance.k in
@@ -33,16 +45,16 @@ let lb_for_offset (inst : Instance.t) trace offset =
         local_of_edge.(e) <- j
       done
     done;
-    let total = ref 0.0 in
+    let total = ref 0 in
     for w = 0 to window_count - 1 do
       let iter f =
         Array.iter
           (fun e -> if window_of_edge.(e) = w then f local_of_edge.(e))
           trace
       in
-      total := !total +. window_dp ~edges:k iter
+      total := !total + window_dp ~edges:k iter
     done;
-    int_of_float !total
+    !total
   end
 
 let dynamic_lb (inst : Instance.t) trace ?offsets () =
@@ -69,11 +81,14 @@ let interval_opt (inst : Instance.t) trace ~shift ~epsilon =
       subs.(i) <- local :: subs.(i))
     trace;
   let total = ref 0.0 in
+  (* one DP buffer shared across all intervals (grown to the widest) *)
+  let scratch = Rbgp_mts.Offline.scratch () in
   Array.iteri
     (fun i sub ->
       let metric = Rbgp_mts.Metric.Line (Intervals.width dec i) in
       let sub = Array.of_list (List.rev sub) in
-      total := !total +. Rbgp_mts.Offline.opt_cost_indicators_free metric sub)
+      total :=
+        !total +. Rbgp_mts.Offline.opt_cost_indicators_free ~scratch metric sub)
     subs;
   !total
 

@@ -89,13 +89,21 @@ let brute_force (inst : Instance.t) trace =
 (* Cycle DP over cut placements                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* The crossing DPs below used to run on float arrays with [infinity]
+   sentinels and round back with [int_of_float]; crossing counts are
+   integers, so they now run on int arrays end-to-end ([unreachable] as the
+   sentinel, safely below any overflow when added to a per-edge count) and
+   reuse one preallocated deque across all anchors and layers instead of
+   allocating two arrays per (anchor x layer). *)
+let unreachable = max_int / 4
+
 (* Sliding-window minimum over the last [k] values of a DP layer, fed one
    value at a time.  Classic monotonic deque. *)
 module Window_min = struct
   type t = {
     k : int;
     idx : int array;
-    value : float array;
+    value : int array;
     mutable head : int;
     mutable tail : int;  (* deque is idx/value[head..tail-1] *)
   }
@@ -104,10 +112,14 @@ module Window_min = struct
     {
       k;
       idx = Array.make capacity 0;
-      value = Array.make capacity 0.0;
+      value = Array.make capacity 0;
       head = 0;
       tail = 0;
     }
+
+  let reset t =
+    t.head <- 0;
+    t.tail <- 0
 
   let push t i v =
     while t.tail > t.head && t.value.(t.tail - 1) >= v do
@@ -122,7 +134,7 @@ module Window_min = struct
     while t.tail > t.head && t.idx.(t.head) < i - t.k do
       t.head <- t.head + 1
     done;
-    if t.tail = t.head then infinity else t.value.(t.head)
+    if t.tail = t.head then unreachable else t.value.(t.head)
 end
 
 let check_splittable (inst : Instance.t) =
@@ -133,18 +145,20 @@ let crossing_lower_bound (inst : Instance.t) trace =
   check_splittable inst;
   let n = inst.Instance.n and k = inst.Instance.k in
   let x = edge_counts inst trace in
-  let best = ref infinity in
+  let best = ref unreachable in
+  (* one DP layer and one deque, reset per anchor instead of reallocated *)
+  let f = Array.make n unreachable in
+  let w = Window_min.create ~k ~capacity:n in
   (* anchor = the first cut among edges 0..k-1; every valid cut set has one *)
   for c0 = 0 to Stdlib.min (k - 1) (n - 1) do
-    let arr i = float_of_int x.((c0 + i) mod n) in
-    let f = Array.make n infinity in
-    let w = Window_min.create ~k ~capacity:n in
+    let arr i = x.((c0 + i) mod n) in
+    Window_min.reset w;
     f.(0) <- arr 0;
     Window_min.push w 0 f.(0);
     for i = 1 to n - 1 do
       let m = Window_min.min_before w i in
-      f.(i) <- (if Float.is_finite m then m +. arr i else infinity);
-      if Float.is_finite f.(i) then Window_min.push w i f.(i)
+      f.(i) <- (if m < unreachable then m + arr i else unreachable);
+      if f.(i) < unreachable then Window_min.push w i f.(i)
     done;
     (* wrap gap from last cut back to the anchor must be <= k *)
     for i = Stdlib.max 1 (n - k) to n - 1 do
@@ -152,33 +166,35 @@ let crossing_lower_bound (inst : Instance.t) trace =
     done;
     (* a single cut is impossible for n > k, so i >= 1 above is safe *)
   done;
-  int_of_float !best
+  !best
 
 (* DP with segment count: g.(s).(i) = min crossing with cuts at relabeled
    positions 0 and i, using s+1 cuts total so far.  Returns the optimal cut
    set (original edge indices). *)
 let best_cut_set (inst : Instance.t) x =
   let n = inst.Instance.n and k = inst.Instance.k and ell = inst.Instance.ell in
-  let best = ref infinity and best_cuts = ref None in
-  (* DP layers reused across anchors to avoid re-allocating per anchor *)
-  let g = Array.make_matrix ell n infinity in
+  let best = ref unreachable and best_cuts = ref None in
+  (* DP layers and deque reused across anchors/layers to avoid
+     re-allocating per anchor *)
+  let g = Array.make_matrix ell n unreachable in
   let parent = Array.make_matrix ell n (-1) in
+  let w = Window_min.create ~k ~capacity:n in
   for c0 = 0 to Stdlib.min (k - 1) (n - 1) do
-    let arr i = float_of_int x.((c0 + i) mod n) in
+    let arr i = x.((c0 + i) mod n) in
     for s = 0 to ell - 1 do
-      Array.fill g.(s) 0 n infinity;
+      Array.fill g.(s) 0 n unreachable;
       Array.fill parent.(s) 0 n (-1)
     done;
     g.(0).(0) <- arr 0;
     for s = 1 to ell - 1 do
-      let w = Window_min.create ~k ~capacity:n in
+      Window_min.reset w;
       (* we also need argmin; store (value, idx) by scanning the deque head *)
-      let push i v = if Float.is_finite v then Window_min.push w i v in
+      let push i v = if v < unreachable then Window_min.push w i v in
       push 0 g.(s - 1).(0);
       for i = 1 to n - 1 do
         let m = Window_min.min_before w i in
-        if Float.is_finite m then begin
-          g.(s).(i) <- m +. arr i;
+        if m < unreachable then begin
+          g.(s).(i) <- m + arr i;
           (* recover the argmin by scanning back over the window: O(k) worst
              case, but only executed when we later reconstruct; to keep the
              forward pass O(n) we store the head index of the deque. *)
@@ -207,7 +223,7 @@ let best_cut_set (inst : Instance.t) x =
     done
   done;
   match !best_cuts with
-  | Some cuts -> (List.sort_uniq compare cuts, int_of_float !best)
+  | Some cuts -> (List.sort_uniq compare cuts, !best)
   | None -> failwith "Static_opt: no feasible segmented partition"
 
 let segmented_dp (inst : Instance.t) trace =

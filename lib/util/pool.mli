@@ -1,8 +1,11 @@
-(** Deterministic Domain-based work pool.
+(** Deterministic, {e persistent} Domain-based work pool.
 
     The experiment harness fans independent grid cells (algorithm x workload
-    x seed x k) across cores with {!map}.  Three properties make the
-    parallel runs indistinguishable from sequential ones:
+    x seed x k) across cores with {!map}.  Worker domains are spawned once
+    (on first use, or explicitly via {!warmup}) and then parked on a
+    condition variable between jobs, so fan-out cost is amortized across an
+    entire experiment run instead of being paid per table.  Three properties
+    make the parallel runs indistinguishable from sequential ones:
 
     - {b deterministic ordering}: [map f items] always returns results in
       input order, regardless of which domain computed which item and in
@@ -16,14 +19,24 @@
       identity does not depend on the schedule.
 
     Tasks must not share mutable state with each other; the harness
-    guarantees this by constructing all shared inputs (instances, traces)
-    before the fan-out and treating them as read-only.
+    guarantees this by constructing all shared inputs (instances, traces,
+    offline DP tables) before the fan-out and treating them as read-only.
 
     The default domain count is resolved, in order, from: an explicit
     {!set_domains} override (the [--domains] CLI flag), the [RBGP_DOMAINS]
     environment variable, and [Domain.recommended_domain_count ()].  With a
     single domain (or a single item) [map] degrades to a plain sequential
-    [Array.map] in the calling domain — no domains are spawned. *)
+    [Array.map] in the calling domain — no workers are woken.  Nested
+    [map]s (from a worker, or from [f] itself) also run sequentially rather
+    than deadlocking on the single job slot.
+
+    The scheduling {e grain} — how many items a worker claims per trip to
+    the shared cursor — is resolved from {!set_grain} (the [--grain] CLI
+    flag), the [RBGP_GRAIN] environment variable, or the automatic default
+    [max 1 (n / (8 d))] (about eight chunks per participant).  Larger
+    grains reduce cursor traffic for many tiny cells; grain 1 maximizes
+    load balance for few expensive cells.  The grain never affects
+    results, only the schedule. *)
 
 val set_domains : int option -> unit
 (** Process-wide override of the default domain count ([Some d] with
@@ -33,6 +46,26 @@ val set_domains : int option -> unit
 val domains : unit -> int
 (** The effective default domain count (override, else [RBGP_DOMAINS],
     else [Domain.recommended_domain_count ()]); always at least 1. *)
+
+val set_grain : int option -> unit
+(** Process-wide override of the scheduling grain ([Some g] with [g >= 1]);
+    [None] restores env/auto detection.  Raises [Invalid_argument] on
+    [Some g] with [g < 1]. *)
+
+val grain : unit -> int option
+(** The forced grain, if any (override, else [RBGP_GRAIN]); [None] means
+    the automatic per-job default. *)
+
+val warmup : ?domains:int -> unit -> unit
+(** Pre-spawn the worker domains a subsequent [map ~domains] would use, so
+    the first parallel job does not pay domain-creation cost.  Idempotent;
+    benchmarks call this to separate pool-spawn cost from algorithmic
+    speedup. *)
+
+val shutdown : unit -> unit
+(** Join and discard all parked workers (the next parallel [map] or
+    {!warmup} re-spawns cold).  Called automatically at process exit;
+    benchmarks call it to measure cold-start cost. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f items] applies [f] to every element, using up to

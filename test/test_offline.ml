@@ -192,6 +192,78 @@ let test_dopt_too_large () =
        false
      with Invalid_argument _ -> true)
 
+(* --- pruned solver vs retained exhaustive reference ----------------------- *)
+
+(* every feasible small shape crossed with every oblivious workload
+   generator: the dominance-pruned DP must agree with the exhaustive
+   reference relaxation exactly (integer costs, so equality is exact) *)
+let dopt_shapes = [| (4, 2); (6, 2); (6, 3); (8, 2); (8, 4); (9, 3); (10, 2) |]
+
+let test_dopt_pruned_eq_reference =
+  qtest ~count:70 "pruned DP = reference DP (all workload generators)"
+    QCheck2.Gen.(
+      int_range 0 (Array.length dopt_shapes - 1) >>= fun si ->
+      int_range 0 10_000 >>= fun seed ->
+      nat >|= fun wi -> (si, seed, wi))
+    (fun (si, seed, wi) ->
+      let n, ell = dopt_shapes.(si) in
+      let inst = Instance.blocks ~n ~ell in
+      let rng = Rng.create seed in
+      let workloads = Rbgp_workloads.Workloads.all_fixed ~n ~steps:20 rng in
+      let trace =
+        match List.nth workloads (wi mod List.length workloads) with
+        | _, Rbgp_ring.Trace.Fixed t -> t
+        | _ -> assert false (* all_fixed only yields fixed traces *)
+      in
+      let dp = Dopt.shared inst () in
+      Cost.total (Dopt.solve dp trace)
+      = Cost.total (Dopt.solve ~reference:true dp trace))
+
+(* --- canonicalization ----------------------------------------------------- *)
+
+let rotate a r =
+  let n = Array.length a in
+  Array.init n (fun i -> a.((i + r) mod n))
+
+let canon_gen =
+  QCheck2.Gen.(
+    oneofl [ (4, 2); (6, 2); (6, 3); (8, 4); (9, 3) ] >>= fun (n, ell) ->
+    array_size (return n) (int_range 0 (ell - 1)) >>= fun a ->
+    int_range 0 (n - 1) >>= fun r ->
+    shuffle_a (Array.init ell Fun.id) >|= fun perm -> (a, r, perm))
+
+let test_canonical_rotation_invariant =
+  qtest ~count:300 "canonical invariant under rotation" canon_gen
+    (fun (a, r, _) -> Dopt.canonical (rotate a r) = Dopt.canonical a)
+
+let test_canonical_relabel_invariant =
+  qtest ~count:300 "canonical invariant under server relabeling" canon_gen
+    (fun (a, _, perm) ->
+      Dopt.canonical (Array.map (fun s -> perm.(s)) a) = Dopt.canonical a)
+
+let test_canonical_combined_invariant =
+  qtest ~count:300 "canonical invariant under rotation o relabeling" canon_gen
+    (fun (a, r, perm) ->
+      Dopt.canonical (rotate (Array.map (fun s -> perm.(s)) a) r)
+      = Dopt.canonical a)
+
+let test_canonical_idempotent =
+  qtest ~count:300 "canonical is idempotent" canon_gen (fun (a, _, _) ->
+      let c = Dopt.canonical a in
+      Dopt.canonical c = c)
+
+let test_symmetry_classes () =
+  (* n=4, ell=2: six balanced configurations, two orbits under
+     rotation x relabeling (contiguous blocks vs alternating) *)
+  let dp = Dopt.shared (Instance.blocks ~n:4 ~ell:2) () in
+  Alcotest.(check int) "states" 6 (Dopt.state_count dp);
+  Alcotest.(check int) "classes" 2 (Dopt.symmetry_class_count dp)
+
+let test_shared_is_cached () =
+  let inst = Instance.blocks ~n:6 ~ell:3 in
+  let a = Dopt.shared inst () and b = Dopt.shared inst () in
+  Alcotest.(check bool) "same table returned" true (a == b)
+
 (* --- lower bounds --------------------------------------------------------- *)
 
 let test_dynamic_lb_certified =
@@ -264,6 +336,17 @@ let () =
           test_dopt_le_static;
           Alcotest.test_case "schedule replays" `Quick test_dopt_schedule_replays;
           Alcotest.test_case "size guard" `Quick test_dopt_too_large;
+          test_dopt_pruned_eq_reference;
+        ] );
+      ( "canonicalization",
+        [
+          test_canonical_rotation_invariant;
+          test_canonical_relabel_invariant;
+          test_canonical_combined_invariant;
+          test_canonical_idempotent;
+          Alcotest.test_case "symmetry classes n=4 ell=2" `Quick
+            test_symmetry_classes;
+          Alcotest.test_case "shared table cached" `Quick test_shared_is_cached;
         ] );
       ( "lower-bounds",
         [

@@ -84,6 +84,60 @@ let test_set_domains () =
     (Invalid_argument "Pool.set_domains: need at least 1 domain") (fun () ->
       Pool.set_domains (Some 0))
 
+let test_set_grain () =
+  Pool.set_grain (Some 7);
+  Alcotest.(check (option int)) "override" (Some 7) (Pool.grain ());
+  Pool.set_grain None;
+  Alcotest.(check (option int)) "auto" None (Pool.grain ());
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Pool.set_grain: need a grain of at least 1") (fun () ->
+      Pool.set_grain (Some 0))
+
+let test_map_under_grain () =
+  (* correctness must not depend on the scheduling grain: chunk-of-1
+     maximizes hand-offs, a huge grain collapses to one chunk per worker *)
+  let items = Array.init 311 (fun i -> i) in
+  let f x = (x * 7) - 2 in
+  let expected = Array.map f items in
+  Fun.protect
+    (fun () ->
+      List.iter
+        (fun g ->
+          Pool.set_grain (Some g);
+          Alcotest.(check (array int))
+            (Printf.sprintf "grain=%d" g)
+            expected
+            (Pool.map ~domains:4 f items))
+        [ 1; 3; 1000 ])
+    ~finally:(fun () -> Pool.set_grain None)
+
+let test_warmup_shutdown_idempotent () =
+  (* warmup twice, shutdown twice, then map must still work (workers are
+     respawned on demand after a shutdown) *)
+  Pool.warmup ~domains:4 ();
+  Pool.warmup ~domains:4 ();
+  Pool.shutdown ();
+  Pool.shutdown ();
+  let items = Array.init 100 (fun i -> i) in
+  Alcotest.(check (array int))
+    "map after shutdown"
+    (Array.map succ items)
+    (Pool.map ~domains:4 succ items);
+  Pool.shutdown ()
+
+let test_nested_map_falls_back () =
+  (* a map issued from inside a pool task cannot use the single job slot;
+     it must fall back to sequential execution rather than deadlock *)
+  let outer = Array.init 8 (fun i -> i) in
+  let f x =
+    Array.fold_left ( + ) 0 (Pool.map ~domains:4 (fun y -> x + y) (Array.init 16 (fun i -> i)))
+  in
+  let expected = Array.map f outer in
+  Alcotest.(check (array int))
+    "nested map"
+    expected
+    (Pool.map ~domains:4 f outer)
+
 (* --- experiment tables: parallel == sequential byte for byte --------- *)
 
 let with_stdout_captured f =
@@ -183,11 +237,20 @@ let () =
           Alcotest.test_case "map_seeded deterministic" `Quick
             test_map_seeded_deterministic;
           Alcotest.test_case "set_domains" `Quick test_set_domains;
+          Alcotest.test_case "set_grain" `Quick test_set_grain;
+          Alcotest.test_case "map under grain overrides" `Quick
+            test_map_under_grain;
+          Alcotest.test_case "warmup/shutdown idempotent" `Quick
+            test_warmup_shutdown_idempotent;
+          Alcotest.test_case "nested map falls back" `Quick
+            test_nested_map_falls_back;
         ] );
       ( "experiment determinism",
         [
           Alcotest.test_case "e8 quick" `Quick (test_experiment_determinism "e8");
           Alcotest.test_case "e9 quick" `Quick (test_experiment_determinism "e9");
+          Alcotest.test_case "e10 quick" `Quick
+            (test_experiment_determinism "e10");
         ] );
       ( "journal accounting",
         [
