@@ -18,10 +18,11 @@ bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 # the bench run also writes the machine-readable trajectory file
-# (BENCH_1.json: component ns/run + r^2, per-experiment wall clock,
-# parallel-vs-sequential speedup); this target just validates it parses
+# (BENCH_3.json: component ns/run + r^2, per-experiment wall clock,
+# parallel-vs-sequential speedup, serve-loop throughput + resume identity);
+# this target just validates it parses
 bench-json: bench
-	@python3 -c "import json; json.load(open('BENCH_2.json')); print('BENCH_2.json: valid JSON')"
+	@python3 -c "import json; json.load(open('BENCH_3.json')); print('BENCH_3.json: valid JSON')"
 
 experiments:
 	dune exec bin/rbgp_cli.exe -- exp all | tee experiments_full.txt

@@ -11,18 +11,19 @@
       single `dune exec bench/main.exe` reproduces every reported table.
       Run `rbgp exp <id>` (without --quick) for the full-size versions.
 
-   Besides the human-readable tables the run writes BENCH_2.json next to
-   the current directory: component ns/run + r^2 (the BENCH_1 component
-   set plus the offline-comparator components this change set overhauled:
-   the pruned exact dynamic OPT and its retained exhaustive reference),
-   wall-clock seconds per quick-mode experiment, and parallel-vs-sequential
-   comparisons for E8 *and* E10 — each reporting a cold speedup (domain
-   spawn included, pool shut down first) and a warm speedup (pool
-   pre-warmed), plus a byte-identity check of all three outputs, so
-   pool-spawn cost can never masquerade as algorithmic slowdown again.
-   The numeric suffix is the bench-trajectory slot for this change set;
-   BENCH_1.json is the PR-1 snapshot and later change sets append
-   BENCH_3.json, ... so the files form a machine-readable performance
+   Besides the human-readable tables the run writes BENCH_3.json next to
+   the current directory: the BENCH_2 sections (component ns/run + r^2,
+   wall-clock seconds per quick-mode experiment, parallel-vs-sequential
+   comparisons for E8 and E10 with cold/warm speedups and byte-identity
+   checks) plus a "serve" section measuring the streaming engine this
+   change set added — end-to-end ingest throughput (req/s) and p50/p99
+   ingest latency through [Rbgp_serve.Engine] for the journal
+   ([`Incremental]) and full-scan ([`Diff]) accounting paths, each with a
+   mid-stream checkpoint/resume identity bit (resume must reproduce the
+   uninterrupted run's costs and assignment exactly).  The numeric suffix
+   is the bench-trajectory slot for this change set; BENCH_1.json and
+   BENCH_2.json are earlier snapshots and later change sets append
+   BENCH_4.json, ... so the files form a machine-readable performance
    history of the repository. *)
 
 open Bechamel
@@ -290,10 +291,86 @@ let parallel_check id =
     identical;
   }
 
-let write_bench_json ~components ~experiments ~parallel =
-  let oc = open_out "BENCH_2.json" in
+(* --- serving engine throughput -------------------------------------- *)
+
+type serve_result = {
+  accounting : string;
+  requests : int;
+  rps : float;
+  p50_ns : int;
+  p99_ns : int;
+  serve_comm : int;
+  serve_mig : int;
+  resume_identical : bool;
+}
+
+(* End-to-end ingest throughput through the streaming engine — the number
+   `rbgp serve` reports as req/s — for the journal (O(moves+1)/request)
+   and full-scan (O(n+ell)/request) accounting paths, plus a mid-stream
+   checkpoint/resume identity check: the resumed engine must finish with
+   exactly the costs and assignment of the uninterrupted run.  The
+   checkpoint round-trips through its binary encoding so the measurement
+   covers the real serialization path. *)
+let serve_bench () =
+  let n = 512 and ell = 8 and steps = 100_000 and seed = 42 in
+  let sinst = Rbgp_ring.Instance.blocks ~n ~ell in
+  let trace =
+    match Rbgp_workloads.Workloads.rotating ~n ~steps (Rbgp_util.Rng.create 7) with
+    | Rbgp_ring.Trace.Fixed a -> a
+    | Rbgp_ring.Trace.Adaptive _ -> assert false
+  in
+  let one accounting label =
+    let engine = Rbgp_serve.Engine.create ~accounting ~alg:"onl-dynamic" ~seed sinst in
+    Array.iter (fun e -> ignore (Rbgp_serve.Engine.ingest engine e)) trace;
+    let m = Rbgp_serve.Engine.metrics engine in
+    let r = Rbgp_serve.Engine.result engine in
+    let resume_identical =
+      let cut = steps / 2 in
+      let first = Rbgp_serve.Engine.create ~accounting ~alg:"onl-dynamic" ~seed sinst in
+      Array.iter
+        (fun e -> ignore (Rbgp_serve.Engine.ingest first e))
+        (Array.sub trace 0 cut);
+      let ckpt =
+        Rbgp_serve.Checkpoint.of_string
+          (Rbgp_serve.Checkpoint.to_string (Rbgp_serve.Engine.checkpoint first))
+      in
+      match Rbgp_serve.Engine.resume ~accounting ckpt with
+      | resumed ->
+          Array.iter
+            (fun e -> ignore (Rbgp_serve.Engine.ingest resumed e))
+            (Array.sub trace cut (steps - cut));
+          let rr = Rbgp_serve.Engine.result resumed in
+          rr.Rbgp_ring.Simulator.cost = r.Rbgp_ring.Simulator.cost
+          && rr.Rbgp_ring.Simulator.max_load = r.Rbgp_ring.Simulator.max_load
+          && Rbgp_serve.Engine.assignment resumed
+             = Rbgp_serve.Engine.assignment engine
+      | exception Failure _ -> false
+    in
+    let sr =
+      {
+        accounting = label;
+        requests = Rbgp_serve.Metrics.requests m;
+        rps = Rbgp_serve.Metrics.rps m;
+        p50_ns = Rbgp_serve.Metrics.quantile m 0.5;
+        p99_ns = Rbgp_serve.Metrics.quantile m 0.99;
+        serve_comm = r.Rbgp_ring.Simulator.cost.Rbgp_ring.Cost.comm;
+        serve_mig = r.Rbgp_ring.Simulator.cost.Rbgp_ring.Cost.mig;
+        resume_identical;
+      }
+    in
+    Printf.printf
+      "serve (%s accounting): %d reqs, %.0f req/s, p50 %d ns, p99 %d ns, \
+       resume %s\n"
+      label sr.requests sr.rps sr.p50_ns sr.p99_ns
+      (if resume_identical then "identical" else "DIVERGED");
+    sr
+  in
+  [ one `Incremental "journal"; one `Diff "diff" ]
+
+let write_bench_json ~components ~experiments ~parallel ~serve =
+  let oc = open_out "BENCH_3.json" in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"rbgp-bench/2\",\n";
+  out "{\n  \"schema\": \"rbgp-bench/3\",\n";
   out "  \"components\": [\n";
   List.iteri
     (fun i (name, ns, r2) ->
@@ -324,9 +401,20 @@ let write_bench_json ~components ~experiments ~parallel =
         p.identical
         (if i < List.length parallel - 1 then "," else ""))
     parallel;
+  out "  ],\n  \"serve\": [\n";
+  List.iteri
+    (fun i s ->
+      out
+        "    {\"accounting\": \"%s\", \"alg\": \"onl-dynamic\", \
+         \"requests\": %d, \"rps\": %s, \"p50_ns\": %d, \"p99_ns\": %d, \
+         \"comm\": %d, \"mig\": %d, \"resume_identical\": %b}%s\n"
+        (json_escape s.accounting) s.requests (json_num s.rps) s.p50_ns
+        s.p99_ns s.serve_comm s.serve_mig s.resume_identical
+        (if i < List.length serve - 1 then "," else ""))
+    serve;
   out "  ]\n}\n";
   close_out oc;
-  print_endline "wrote BENCH_2.json"
+  print_endline "wrote BENCH_3.json"
 
 let () =
   let components = run_benchmarks () in
@@ -346,4 +434,6 @@ let () =
   in
   print_newline ();
   let parallel = [ parallel_check "e8"; parallel_check "e10" ] in
-  write_bench_json ~components ~experiments ~parallel
+  print_newline ();
+  let serve = serve_bench () in
+  write_bench_json ~components ~experiments ~parallel ~serve

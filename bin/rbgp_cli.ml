@@ -1,8 +1,14 @@
-(* Command-line driver: run experiments or single simulations.
+(* Command-line driver: run experiments, single simulations, or the
+   streaming partition service.
 
      rbgp exp e3                 run experiment E3
      rbgp exp all --quick        quick pass over the whole suite
      rbgp sim --alg onl-static --workload rotating --n 256 --ell 8
+     rbgp trace --workload uniform --n 256 --steps 10000 --out t.rbt --format bin
+     rbgp serve --alg onl-dynamic --n 256 --ell 8 --trace t.rbt
+     cat t.txt | rbgp serve --n 256 --ell 8       # stream from a pipe
+     rbgp resume --from run.ckpt --trace t.rbt --skip-prefix
+     rbgp checkpoint run.ckpt                     # inspect a snapshot
 *)
 
 open Cmdliner
@@ -91,6 +97,17 @@ let alg_names =
   [ "onl-dynamic"; "onl-static"; "never-move"; "greedy-colocate";
     "counter-threshold"; "static-oracle" ]
 
+let workload_trace ~workload ~n ~steps rng =
+  match workload with
+  | "uniform" -> Rbgp_workloads.Workloads.uniform ~n ~steps rng
+  | "hotspot" -> Rbgp_workloads.Workloads.hotspot ~n ~steps rng
+  | "rotating" -> Rbgp_workloads.Workloads.rotating ~n ~steps rng
+  | "allreduce" -> Rbgp_workloads.Workloads.allreduce ~n ~steps
+  | "zipf" -> Rbgp_workloads.Workloads.zipf ~n ~steps rng
+  | "piecewise" -> Rbgp_workloads.Workloads.piecewise_static ~n ~steps rng
+  | "cut-chaser" -> Rbgp_workloads.Workloads.adversary_cut_chaser ~n
+  | w -> invalid_arg ("unknown workload " ^ w)
+
 let sim alg workload n ell steps epsilon seed verbose trace_file save_trace show =
   setup_logs verbose;
   let inst = Rbgp_ring.Instance.blocks ~n ~ell in
@@ -99,16 +116,7 @@ let sim alg workload n ell steps epsilon seed verbose trace_file save_trace show
     match trace_file with
     | Some path ->
         Rbgp_ring.Trace.fixed (Rbgp_workloads.Trace_io.load ~path ~n)
-    | None ->
-    match workload with
-    | "uniform" -> Rbgp_workloads.Workloads.uniform ~n ~steps rng
-    | "hotspot" -> Rbgp_workloads.Workloads.hotspot ~n ~steps rng
-    | "rotating" -> Rbgp_workloads.Workloads.rotating ~n ~steps rng
-    | "allreduce" -> Rbgp_workloads.Workloads.allreduce ~n ~steps
-    | "zipf" -> Rbgp_workloads.Workloads.zipf ~n ~steps rng
-    | "piecewise" -> Rbgp_workloads.Workloads.piecewise_static ~n ~steps rng
-    | "cut-chaser" -> Rbgp_workloads.Workloads.adversary_cut_chaser ~n
-    | w -> invalid_arg ("unknown workload " ^ w)
+    | None -> workload_trace ~workload ~n ~steps rng
   in
   let tarr =
     match trace_t with Rbgp_ring.Trace.Fixed a -> a | _ -> [||]
@@ -210,12 +218,334 @@ let sim_cmd =
       const sim $ alg $ workload $ n $ ell $ steps $ epsilon $ seed_arg
       $ verbose_arg $ trace_file $ save_trace $ show)
 
+(* --- serve / resume ------------------------------------------------- *)
+
+module Engine = Rbgp_serve.Engine
+module Metrics = Rbgp_serve.Metrics
+module Ckpt = Rbgp_serve.Checkpoint
+module Source = Rbgp_serve.Source
+
+let format_conv =
+  Arg.enum [ ("auto", `Auto); ("text", `Text); ("bin", `Binary) ]
+
+let accounting_conv =
+  Arg.enum
+    [ ("auto", `Auto); ("incremental", `Incremental); ("diff", `Diff);
+      ("check", `Check) ]
+
+let open_source ~trace ~format ~n =
+  match trace with
+  | "-" ->
+      let format = match format with `Auto -> `Text | (`Text | `Binary) as f -> f in
+      Source.of_channel ~path:"<stdin>" ~format ~n stdin
+  | path -> Source.open_file ~format ~n path
+
+(* The serving loop shared by [serve] and [resume]: pull requests until
+   the source dries up (or --stop-after), emit one JSONL decision per
+   request, embed a metrics record every N requests, keep a rolling
+   checkpoint, dump metrics on SIGUSR1 and at exit. *)
+let serve_loop engine source ~decisions ~metrics_every ~checkpoint_path
+    ~checkpoint_every ~stop_after =
+  let m = Engine.metrics engine in
+  (try
+     Sys.set_signal Sys.sigusr1
+       (Sys.Signal_handle
+          (fun _ ->
+            prerr_endline (Metrics.summary m);
+            flush stderr))
+   with Invalid_argument _ | Sys_error _ -> ());
+  let write_ckpt () =
+    match checkpoint_path with
+    | Some path -> Ckpt.write ~path (Engine.checkpoint engine)
+    | None -> ()
+  in
+  let served = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let stop = match stop_after with Some s -> !served >= s | None -> false in
+    match (if stop then None else Source.next source) with
+    | None -> continue := false
+    | Some e ->
+        let d = Engine.ingest engine e in
+        incr served;
+        if decisions then print_endline (Engine.decision_to_json d);
+        if metrics_every > 0 && Engine.pos engine mod metrics_every = 0 then
+          print_endline (Metrics.to_json m);
+        if
+          checkpoint_every > 0
+          && Engine.pos engine mod checkpoint_every = 0
+        then write_ckpt ()
+  done;
+  write_ckpt ();
+  print_endline (Metrics.to_json m);
+  print_endline (Engine.result_to_json engine);
+  flush stdout;
+  prerr_endline (Metrics.summary m)
+
+let trace_arg =
+  Arg.(
+    value & opt string "-"
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Request source: a trace file (text or framed binary), or '-' for \
+           stdin (the default) so requests can be piped in as they arrive.")
+
+let format_arg =
+  Arg.(
+    value & opt format_conv `Auto
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Trace format: auto (detect by magic bytes; text for stdin), text \
+           (one edge per line) or bin (framed binary, see DESIGN.md).")
+
+let accounting_arg =
+  Arg.(
+    value & opt accounting_conv `Auto
+    & info [ "accounting" ] ~docv:"MODE"
+        ~doc:
+          "Cost accounting mode: auto, incremental (require move journal), \
+           diff (full scans), or check (incremental verified against the \
+           full-scan oracle).")
+
+let decisions_arg =
+  Arg.(
+    value & flag
+    & info [ "no-decisions" ]
+        ~doc:
+          "Suppress per-request JSONL decision records (metrics and the \
+           final result record are still emitted) — useful for raw \
+           throughput measurements.")
+
+let metrics_every_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "metrics-every" ] ~docv:"N"
+        ~doc:
+          "Embed a metrics record in the JSONL stream every N requests \
+           (0 disables).")
+
+let checkpoint_path_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:"Write a snapshot to FILE at exit (and every N requests with \
+              --checkpoint-every).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Refresh the --checkpoint snapshot every N requests (0: only \
+              at exit).")
+
+let stop_after_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "stop-after" ] ~docv:"N"
+        ~doc:"Stop serving after N requests even if the source has more \
+              (e.g. to take a mid-stream checkpoint).")
+
+let serve_cmd =
+  let alg_arg =
+    Arg.(
+      value
+      & opt (enum_of Rbgp_serve.Registry.names) "onl-dynamic"
+      & info [ "alg" ] ~docv:"ALG" ~doc:"Algorithm to serve with.")
+  in
+  let n = Arg.(value & opt int 256 & info [ "n" ] ~doc:"Number of processes.") in
+  let ell = Arg.(value & opt int 8 & info [ "ell" ] ~doc:"Number of servers.") in
+  let epsilon =
+    Arg.(value & opt float 0.5 & info [ "epsilon" ] ~doc:"Augmentation slack.")
+  in
+  let run alg n ell epsilon seed trace format accounting no_decisions
+      metrics_every checkpoint_path checkpoint_every stop_after verbose =
+    setup_logs verbose;
+    let inst = Rbgp_ring.Instance.blocks ~n ~ell in
+    let engine = Engine.create ~accounting ~epsilon ~alg ~seed inst in
+    let source = open_source ~trace ~format ~n in
+    Fun.protect
+      ~finally:(fun () -> Source.close source)
+      (fun () ->
+        serve_loop engine source ~decisions:(not no_decisions) ~metrics_every
+          ~checkpoint_path ~checkpoint_every ~stop_after)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Stream requests through an algorithm: one JSONL decision per \
+          request, live metrics, optional rolling checkpoints.")
+    Term.(
+      const run $ alg_arg $ n $ ell $ epsilon $ seed_arg $ trace_arg
+      $ format_arg $ accounting_arg $ decisions_arg $ metrics_every_arg
+      $ checkpoint_path_arg $ checkpoint_every_arg $ stop_after_arg
+      $ verbose_arg)
+
+let resume_cmd =
+  let from_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "from" ] ~docv:"CKPT" ~doc:"Checkpoint file to resume from.")
+  in
+  let skip_prefix_arg =
+    Arg.(
+      value & flag
+      & info [ "skip-prefix" ]
+          ~doc:
+            "The trace source contains the stream from the beginning: \
+             consume the already-served prefix first, verifying it matches \
+             the checkpoint request for request.")
+  in
+  let run from trace format accounting skip_prefix no_decisions metrics_every
+      checkpoint_path checkpoint_every stop_after verbose =
+    setup_logs verbose;
+    let ckpt = Ckpt.read ~path:from in
+    let engine = Engine.resume ~accounting ckpt in
+    let source = open_source ~trace ~format ~n:ckpt.Ckpt.n in
+    Fun.protect
+      ~finally:(fun () -> Source.close source)
+      (fun () ->
+        if skip_prefix then
+          Array.iteri
+            (fun i expected ->
+              match Source.next source with
+              | Some e when e = expected -> ()
+              | Some e ->
+                  failwith
+                    (Printf.sprintf
+                       "resume: trace diverges from checkpoint at request %d \
+                        (trace has %d, checkpoint served %d)"
+                       i e expected)
+              | None ->
+                  failwith
+                    (Printf.sprintf
+                       "resume: trace ends at request %d but the checkpoint \
+                        already served %d requests"
+                       i ckpt.Ckpt.pos))
+            ckpt.Ckpt.prefix;
+        serve_loop engine source ~decisions:(not no_decisions) ~metrics_every
+          ~checkpoint_path ~checkpoint_every ~stop_after)
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Resume a checkpointed serving run (explicit state restore when \
+          the algorithm supports it, deterministic prefix replay \
+          otherwise; both verified against the snapshot).")
+    Term.(
+      const run $ from_arg $ trace_arg $ format_arg $ accounting_arg
+      $ skip_prefix_arg $ decisions_arg $ metrics_every_arg
+      $ checkpoint_path_arg $ checkpoint_every_arg $ stop_after_arg
+      $ verbose_arg)
+
+let checkpoint_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"CKPT" ~doc:"Checkpoint file to inspect.")
+  in
+  let run file = print_endline (Ckpt.to_json (Ckpt.read ~path:file)) in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Describe a checkpoint file as a JSON record.")
+    Term.(const run $ file_arg)
+
+(* --- trace: generate / convert -------------------------------------- *)
+
+let trace_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt
+          (enum_of
+             [ "uniform"; "hotspot"; "rotating"; "allreduce"; "zipf";
+               "piecewise" ])
+          "uniform"
+      & info [ "workload" ] ~docv:"W"
+          ~doc:"Workload generator (oblivious generators only).")
+  in
+  let n = Arg.(value & opt int 256 & info [ "n" ] ~doc:"Number of processes.") in
+  let ell =
+    Arg.(
+      value & opt int 0
+      & info [ "ell" ] ~doc:"Server count recorded in the binary header \
+                             (0: unspecified).")
+  in
+  let steps = Arg.(value & opt int 10_000 & info [ "steps" ] ~doc:"Requests.") in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let convert_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "convert" ] ~docv:"FILE"
+          ~doc:
+            "Convert FILE (text or binary, auto-detected) instead of \
+             generating a workload; --n must match the trace.")
+  in
+  let out_format_arg =
+    Arg.(
+      value & opt format_conv `Auto
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: text, bin, or auto (bin iff the output path \
+             ends in .rbt).")
+  in
+  let run workload n ell steps seed convert out format =
+    let format =
+      match format with
+      | (`Text | `Binary) as f -> f
+      | `Auto -> if Filename.check_suffix out ".rbt" then `Binary else `Text
+    in
+    let trace, ell, seed, comment =
+      match convert with
+      | Some path ->
+          let comment = Printf.sprintf "converted from %s (n=%d)" path n in
+          if Rbgp_workloads.Trace_codec.looks_binary ~path then begin
+            let hdr = Rbgp_workloads.Trace_codec.read_header ~path in
+            ( Rbgp_workloads.Trace_codec.read ~path ~n,
+              hdr.Rbgp_workloads.Trace_codec.ell,
+              hdr.Rbgp_workloads.Trace_codec.seed,
+              comment )
+          end
+          else (Rbgp_workloads.Trace_io.load ~path ~n, ell, seed, comment)
+      | None -> (
+          let rng = Rbgp_util.Rng.create seed in
+          let comment =
+            Printf.sprintf "workload=%s n=%d seed=%d" workload n seed
+          in
+          match workload_trace ~workload ~n ~steps rng with
+          | Rbgp_ring.Trace.Fixed a -> (a, ell, seed, comment)
+          | Rbgp_ring.Trace.Adaptive _ ->
+              invalid_arg "trace: adaptive workloads cannot be exported")
+    in
+    (match format with
+    | `Text -> Rbgp_workloads.Trace_io.save ~path:out ~comment trace
+    | `Binary ->
+        Rbgp_workloads.Trace_codec.write ~path:out ~n ~ell ~seed trace);
+    Printf.printf "wrote %d requests to %s (%s)\n" (Array.length trace) out
+      (match format with `Text -> "text" | `Binary -> "binary")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Generate a request trace file, or convert one between the text \
+          and framed binary formats.")
+    Term.(
+      const run $ workload $ n $ ell $ steps $ seed_arg $ convert_arg
+      $ out_arg $ out_format_arg)
+
 let main =
   Cmd.group
     (Cmd.info "rbgp" ~version:"1.0.0"
        ~doc:
          "Online balanced graph partitioning for ring demands (SPAA 2023 \
           reproduction).")
-    [ exp_cmd; sim_cmd ]
+    [ exp_cmd; sim_cmd; serve_cmd; resume_cmd; checkpoint_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,11 +1,53 @@
 module Instance = Rbgp_ring.Instance
 module Assignment = Rbgp_ring.Assignment
 module Online = Rbgp_ring.Online
+module Binc = Rbgp_util.Binc
+
+(* Every baseline is deterministic with small, flat state, so each one
+   implements the explicit Online snapshot/restore hooks: a versioned
+   Binc-framed byte string holding the assignment plus whatever counters
+   the algorithm keeps.  The serving layer uses these for O(state)
+   checkpoint restores; the randomized core algorithms (whose split rng
+   streams are not worth capturing) rely on its prefix-replay fallback
+   instead. *)
+let snap_version = 1
+
+let snapshot_of name fill =
+  let buf = Buffer.create 128 in
+  Binc.add_varint buf snap_version;
+  Binc.add_string buf name;
+  fill buf;
+  Buffer.contents buf
+
+let open_snapshot name s =
+  let r = Binc.reader s in
+  let v = Binc.read_varint r in
+  if v <> snap_version then
+    invalid_arg
+      (Printf.sprintf "%s: unsupported snapshot version %d" name v);
+  let stored = Binc.read_string r in
+  if not (String.equal stored name) then
+    invalid_arg
+      (Printf.sprintf "%s: snapshot belongs to algorithm %s" name stored);
+  r
+
+let restore_int_array name dst r =
+  let src = Binc.read_int_array r in
+  if Array.length src <> Array.length dst then
+    invalid_arg (name ^ ": snapshot array length mismatch");
+  Array.blit src 0 dst 0 (Array.length dst)
 
 let never_move (inst : Instance.t) =
   let a = Assignment.create inst in
-  Online.with_journal (Assignment.journal a)
-  @@ Online.make ~name:"never-move" ~augmentation:1.0
+  let name = "never-move" in
+  Online.with_state
+    ~snapshot:(fun () ->
+      snapshot_of name (fun buf -> Binc.add_int_array buf (Assignment.to_array a)))
+    ~restore:(fun s ->
+      let r = open_snapshot name s in
+      Assignment.restore_array a (Binc.read_int_array r))
+  @@ Online.with_journal (Assignment.journal a)
+  @@ Online.make ~name ~augmentation:1.0
     ~assignment:(fun () -> a)
     ~serve:(fun _ -> ())
 
@@ -40,8 +82,18 @@ let greedy_colocate ?(threshold = 1) (inst : Instance.t) =
       end
     end
   in
-  Online.with_journal (Assignment.journal a)
-  @@ Online.make ~name:"greedy-colocate" ~augmentation:1.0
+  let name = "greedy-colocate" in
+  Online.with_state
+    ~snapshot:(fun () ->
+      snapshot_of name (fun buf ->
+          Binc.add_int_array buf (Assignment.to_array a);
+          Binc.add_int_array buf counts))
+    ~restore:(fun s ->
+      let r = open_snapshot name s in
+      Assignment.restore_array a (Binc.read_int_array r);
+      restore_int_array name counts r)
+  @@ Online.with_journal (Assignment.journal a)
+  @@ Online.make ~name ~augmentation:1.0
     ~assignment:(fun () -> a)
     ~serve
 
@@ -96,8 +148,20 @@ let counter_threshold ?theta ~epsilon (inst : Instance.t) =
       end
     end
   in
-  Online.with_journal (Assignment.journal a)
-  @@ Online.make ~name:"counter-threshold"
+  let name = "counter-threshold" in
+  Online.with_state
+    ~snapshot:(fun () ->
+      snapshot_of name (fun buf ->
+          Binc.add_int_array buf (Assignment.to_array a);
+          Binc.add_int_array buf counts;
+          Binc.add_int_array buf cuts))
+    ~restore:(fun s ->
+      let r = open_snapshot name s in
+      Assignment.restore_array a (Binc.read_int_array r);
+      restore_int_array name counts r;
+      restore_int_array name cuts r)
+  @@ Online.with_journal (Assignment.journal a)
+  @@ Online.make ~name
     ~augmentation:
       (float_of_int (Intervals.max_slice_len dec) /. float_of_int k)
     ~assignment:(fun () -> a)
@@ -106,7 +170,8 @@ let counter_threshold ?theta ~epsilon (inst : Instance.t) =
 let component_learning (inst : Instance.t) =
   let n = inst.Instance.n and k = inst.Instance.k in
   let a = Assignment.create inst in
-  let uf = Rbgp_util.Union_find.create n in
+  (* a ref so a checkpoint restore can swap in a reconstructed forest *)
+  let uf_ref = ref (Rbgp_util.Union_find.create n) in
   (* collocate the whole component of [root] onto [target_server], swapping
      each mover with a process of the target server outside the component.
      Balance is preserved, and because the component has at most k members
@@ -115,13 +180,13 @@ let component_learning (inst : Instance.t) =
     let movers =
       List.filter
         (fun p -> Assignment.server_of a p <> target_server)
-        (Rbgp_util.Union_find.members uf root)
+        (Rbgp_util.Union_find.members !uf_ref root)
     in
     let outsiders = ref [] in
     for p = n - 1 downto 0 do
       if
         Assignment.server_of a p = target_server
-        && Rbgp_util.Union_find.find uf p <> root
+        && Rbgp_util.Union_find.find !uf_ref p <> root
       then outsiders := p :: !outsiders
     done;
     List.iter
@@ -146,7 +211,7 @@ let component_learning (inst : Instance.t) =
       (fun p ->
         let s = Assignment.server_of a p in
         counts.(s) <- counts.(s) + 1)
-      (Rbgp_util.Union_find.members uf root);
+      (Rbgp_util.Union_find.members !uf_ref root);
     let best = ref 0 in
     Array.iteri (fun s c -> if c > counts.(!best) then best := s) counts;
     !best
@@ -155,27 +220,46 @@ let component_learning (inst : Instance.t) =
     let u = e and v = (e + 1) mod n in
     let su = Assignment.server_of a u and sv = Assignment.server_of a v in
     let total =
-      Rbgp_util.Union_find.size uf u + Rbgp_util.Union_find.size uf v
+      Rbgp_util.Union_find.size !uf_ref u + Rbgp_util.Union_find.size !uf_ref v
     in
-    let joined = Rbgp_util.Union_find.same uf u v in
+    let joined = Rbgp_util.Union_find.same !uf_ref u v in
     if (not joined) && total <= k then begin
       (* merge; if the endpoints straddle servers, collocate on the larger
          side's server *)
-      let size_u = Rbgp_util.Union_find.size uf u in
+      let size_u = Rbgp_util.Union_find.size !uf_ref u in
       let target_server = if size_u >= total - size_u then su else sv in
-      let root = Rbgp_util.Union_find.union uf u v in
+      let root = Rbgp_util.Union_find.union !uf_ref u v in
       if su <> sv then collocate root target_server
     end
     else if joined && su <> sv then
       (* a previously learned component was scattered by someone else's
          collocation swaps: bring it back together on its majority server *)
-      let root = Rbgp_util.Union_find.find uf u in
+      let root = Rbgp_util.Union_find.find !uf_ref u in
       collocate root (majority_server root)
     (* components that would exceed k are never merged: the learning
        variant's guarantee does not cover them, so the request is paid *)
   in
-  Online.with_journal (Assignment.journal a)
-  @@ Online.make ~name:"component-learning" ~augmentation:1.0
+  let name = "component-learning" in
+  Online.with_state
+    ~snapshot:(fun () ->
+      snapshot_of name (fun buf ->
+          Binc.add_int_array buf (Assignment.to_array a);
+          (* the forest up to representative renaming: future behaviour
+             depends only on the partition (membership and sizes), so the
+             canonical-representative array is a faithful snapshot *)
+          Binc.add_int_array buf
+            (Array.init n (fun p -> Rbgp_util.Union_find.find !uf_ref p))))
+    ~restore:(fun s ->
+      let r = open_snapshot name s in
+      Assignment.restore_array a (Binc.read_int_array r);
+      let reps = Binc.read_int_array r in
+      if Array.length reps <> n then
+        invalid_arg (name ^ ": snapshot partition length mismatch");
+      let uf = Rbgp_util.Union_find.create n in
+      Array.iteri (fun p rep -> ignore (Rbgp_util.Union_find.union uf p rep)) reps;
+      uf_ref := uf)
+  @@ Online.with_journal (Assignment.journal a)
+  @@ Online.make ~name ~augmentation:1.0
     ~assignment:(fun () -> a)
     ~serve
 
@@ -191,7 +275,17 @@ let static_oracle (inst : Instance.t) ~trace =
         sol.Rbgp_offline.Static_opt.assignment
     end
   in
-  Online.with_journal (Assignment.journal a)
-  @@ Online.make ~name:"static-oracle" ~augmentation:1.0
+  let name = "static-oracle" in
+  Online.with_state
+    ~snapshot:(fun () ->
+      snapshot_of name (fun buf ->
+          Binc.add_int_array buf (Assignment.to_array a);
+          Binc.add_varint buf (if !moved then 1 else 0)))
+    ~restore:(fun s ->
+      let r = open_snapshot name s in
+      Assignment.restore_array a (Binc.read_int_array r);
+      moved := Binc.read_varint r = 1)
+  @@ Online.with_journal (Assignment.journal a)
+  @@ Online.make ~name ~augmentation:1.0
     ~assignment:(fun () -> a)
     ~serve

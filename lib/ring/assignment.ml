@@ -106,6 +106,16 @@ let diff_into target scratch =
   done;
   !d
 
+let restore_array t a =
+  if Array.length a <> t.inst.Instance.n then
+    invalid_arg "Assignment.restore_array: bad length";
+  Array.iteri
+    (fun p s ->
+      if s < 0 || s >= t.inst.Instance.ell then
+        invalid_arg "Assignment.restore_array: server id out of range";
+      set t p s)
+    a
+
 let to_array t = Array.copy t.map
 let instance t = t.inst
 

@@ -69,6 +69,12 @@ val diff_into : t -> t -> int
     their Hamming distance — used by the simulator to charge migrations with
     one pass and no allocation. *)
 
+val restore_array : t -> int array -> unit
+(** [restore_array t a] moves every process to its server in [a], in place,
+    through {!set} — loads stay consistent and an attached journal records
+    the effective moves (checkpoint restores run before the simulator
+    clears setup-time journal entries).  Validates lengths and server ids. *)
+
 val to_array : t -> int array
 val instance : t -> Instance.t
 val pp : Format.formatter -> t -> unit

@@ -4,9 +4,22 @@ type t = {
   assignment : unit -> Assignment.t;
   serve : int -> unit;
   journal : Assignment.journal option;
+  snapshot : (unit -> string) option;
+  restore : (string -> unit) option;
 }
 
 let make ~name ~augmentation ~assignment ~serve =
-  { name; augmentation; assignment; serve; journal = None }
+  {
+    name;
+    augmentation;
+    assignment;
+    serve;
+    journal = None;
+    snapshot = None;
+    restore = None;
+  }
 
 let with_journal journal t = { t with journal = Some journal }
+
+let with_state ~snapshot ~restore t =
+  { t with snapshot = Some snapshot; restore = Some restore }

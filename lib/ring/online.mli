@@ -36,6 +36,19 @@ type t = {
           request instead of re-scanning all [n] processes and [ell]
           servers; when absent it falls back to the [O(n + ell)]
           {!Assignment.diff_into} scan. *)
+  snapshot : (unit -> string) option;
+      (** Serialize the algorithm's complete mutable state (including its
+          assignment) to an opaque, versioned byte string, when the
+          algorithm supports O(state)-cost checkpointing.  Contract: after
+          [restore s] on a {e freshly built} instance of the same algorithm
+          on the same problem instance, all future [serve] behaviour is
+          identical to the instance [s] was taken from.  Randomized
+          algorithms whose rng streams are impractical to capture leave
+          this [None]; the serving layer falls back to deterministic
+          prefix replay (see {!Rbgp_serve.Checkpoint}). *)
+  restore : (string -> unit) option;
+      (** Inverse of [snapshot]; raises [Invalid_argument] on a byte
+          string this algorithm version cannot decode. *)
 }
 
 val make :
@@ -51,3 +64,7 @@ val with_journal : Assignment.journal -> t -> t
 (** [with_journal j t] declares that [t] supports incremental accounting.
     [j] must be the journal of the same assignment returned by
     [t.assignment] (i.e. [Assignment.journal (t.assignment ())]). *)
+
+val with_state : snapshot:(unit -> string) -> restore:(string -> unit) -> t -> t
+(** [with_state ~snapshot ~restore t] declares that [t] supports explicit
+    state checkpointing (see the field contracts above). *)

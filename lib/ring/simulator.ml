@@ -14,15 +14,28 @@ type result = {
 let capacity_cap (inst : Instance.t) ~augmentation =
   int_of_float ((augmentation *. float_of_int inst.Instance.k) +. 1e-9)
 
-let run ?(strict = true) ?(record_steps = false) ?on_step ?(accounting = `Auto)
-    (inst : Instance.t) (alg : Online.t) trace ~steps =
-  if steps < 0 then invalid_arg "Simulator.run: negative steps";
-  Trace.validate ~n:inst.Instance.n trace ~steps;
-  let cost = Cost.zero () in
+type stepper = {
+  inst : Instance.t;
+  alg : Online.t;
+  strict : bool;
+  s_cost : Cost.t;
+  mutable s_steps : int;
+  s_max_load_ref : int ref;
+  mutable s_violations : int;
+  account : Assignment.t -> int;
+  capacity_ok : Assignment.t -> bool;
+}
+
+let stepper ?(strict = true) ?(accounting = `Auto) ?cost ?max_load ?violations
+    ?(steps_done = 0) (inst : Instance.t) (alg : Online.t) =
+  let cost = match cost with Some c -> c | None -> Cost.zero () in
   let shadow = Assignment.copy (alg.Online.assignment ()) in
-  let max_load = ref (Assignment.max_load shadow) in
-  let violations = ref 0 in
-  let series = if record_steps then Array.make steps (0, 0) else [||] in
+  let max_load_init =
+    match max_load with
+    | Some m -> max m (Assignment.max_load shadow)
+    | None -> Assignment.max_load shadow
+  in
+  let max_load = ref max_load_init in
   let journal =
     match (accounting, alg.Online.journal) with
     | `Diff, _ -> None
@@ -30,7 +43,7 @@ let run ?(strict = true) ?(record_steps = false) ?on_step ?(accounting = `Auto)
     | (`Incremental | `Check), (Some _ as j) -> j
     | (`Incremental | `Check), None ->
         invalid_arg
-          (Printf.sprintf "Simulator.run: %s exposes no move journal"
+          (Printf.sprintf "Simulator.stepper: %s exposes no move journal"
              alg.Online.name)
   in
   let account, capacity_ok =
@@ -64,8 +77,9 @@ let run ?(strict = true) ?(record_steps = false) ?on_step ?(accounting = `Auto)
           (fun load -> if load > cap then incr over)
           (Assignment.loads shadow);
         let dsts = ref [] in
-        (* setup-time moves (algorithm construction) predate the simulation
-           and are already reflected in the shadow snapshot *)
+        (* setup-time moves (algorithm construction, or a checkpoint
+           restore) predate the simulation and are already reflected in the
+           shadow snapshot *)
         Assignment.journal_clear j;
         let oracle =
           match accounting with
@@ -122,38 +136,70 @@ let run ?(strict = true) ?(record_steps = false) ?on_step ?(accounting = `Auto)
         let capacity_ok _current = !over = 0 in
         (account, capacity_ok)
   in
+  {
+    inst;
+    alg;
+    strict;
+    s_cost = cost;
+    s_steps = steps_done;
+    s_max_load_ref = max_load;
+    s_violations = (match violations with Some v -> v | None -> 0);
+    account;
+    capacity_ok;
+  }
+
+let step st e =
+  let alg = st.alg in
+  if e < 0 || e >= st.inst.Instance.n then
+    invalid_arg "Simulator.step: edge out of range";
+  (* one live handle per step: Online.assignment is contractually a live
+     view, so the post-serve state is visible through the same handle *)
+  let current = alg.Online.assignment () in
+  let comm = if Assignment.cuts_edge current e then 1 else 0 in
+  st.s_cost.Cost.comm <- st.s_cost.Cost.comm + comm;
+  alg.Online.serve e;
+  let moved = st.account current in
+  st.s_cost.Cost.mig <- st.s_cost.Cost.mig + moved;
+  if not (st.capacity_ok current) then begin
+    st.s_violations <- st.s_violations + 1;
+    if st.strict then
+      failwith
+        (Printf.sprintf
+           "Simulator.run: %s violated capacity at step %d (max load %d, \
+            claimed augmentation %.3f, k=%d)"
+           alg.Online.name st.s_steps
+           (Assignment.max_load current)
+           alg.Online.augmentation st.inst.Instance.k)
+  end;
+  st.s_steps <- st.s_steps + 1;
+  (comm, moved)
+
+let stepper_result st =
+  {
+    cost = st.s_cost;
+    steps = st.s_steps;
+    max_load = !(st.s_max_load_ref);
+    capacity_violations = st.s_violations;
+    per_step = None;
+  }
+
+let run ?(strict = true) ?(record_steps = false) ?on_step ?(accounting = `Auto)
+    (inst : Instance.t) (alg : Online.t) trace ~steps =
+  if steps < 0 then invalid_arg "Simulator.run: negative steps";
+  Trace.validate ~n:inst.Instance.n trace ~steps;
+  let st = stepper ~strict ~accounting inst alg in
+  let series = if record_steps then Array.make steps (0, 0) else [||] in
   for t = 0 to steps - 1 do
-    (* one live handle per step: Online.assignment is contractually a live
-       view, so the post-serve state is visible through the same handle *)
     let current = alg.Online.assignment () in
     let e = Trace.next trace t current in
     if e < 0 || e >= inst.Instance.n then
       invalid_arg "Simulator.run: trace produced edge out of range";
-    if Assignment.cuts_edge current e then cost.Cost.comm <- cost.Cost.comm + 1;
-    alg.Online.serve e;
-    let moved = account current in
-    cost.Cost.mig <- cost.Cost.mig + moved;
-    if not (capacity_ok current) then begin
-      incr violations;
-      if strict then
-        failwith
-          (Printf.sprintf
-             "Simulator.run: %s violated capacity at step %d (max load %d, \
-              claimed augmentation %.3f, k=%d)"
-             alg.Online.name t
-             (Assignment.max_load current)
-             alg.Online.augmentation inst.Instance.k)
-    end;
-    if record_steps then series.(t) <- (cost.Cost.comm, cost.Cost.mig);
-    match on_step with None -> () | Some f -> f t cost
+    let _ = step st e in
+    if record_steps then series.(t) <- (st.s_cost.Cost.comm, st.s_cost.Cost.mig);
+    match on_step with None -> () | Some f -> f t st.s_cost
   done;
-  {
-    cost;
-    steps;
-    max_load = !max_load;
-    capacity_violations = !violations;
-    per_step = (if record_steps then Some series else None);
-  }
+  let r = stepper_result st in
+  { r with per_step = (if record_steps then Some series else None) }
 
 let replay_cost (inst : Instance.t) trace ~assignments =
   let steps = Array.length trace in

@@ -45,6 +45,41 @@ type result = {
       (** cumulative (comm, mig) after each step when requested *)
 }
 
+type stepper
+(** Incremental form of {!run}: the same accounting state machine, one
+    request at a time.  [run] is implemented on top of it; the streaming
+    serving engine ({!Rbgp_serve.Engine}) drives it directly from an
+    unbounded request source. *)
+
+val stepper :
+  ?strict:bool ->
+  ?accounting:accounting ->
+  ?cost:Cost.t ->
+  ?max_load:int ->
+  ?violations:int ->
+  ?steps_done:int ->
+  Instance.t ->
+  Online.t ->
+  stepper
+(** [stepper inst alg] captures the algorithm's current assignment as the
+    accounting baseline (any moves made before this call — construction, or
+    a checkpoint restore — are not billed).  The optional [cost],
+    [max_load], [violations] and [steps_done] seeds resume cumulative
+    accounting mid-stream from a checkpoint; they default to a fresh run.
+    [cost] is owned by the stepper and mutated in place. *)
+
+val step : stepper -> int -> int * int
+(** [step st e] serves one request on edge [e]: charges communication,
+    calls the algorithm's [serve], charges migrations, updates the load
+    maximum and checks capacity (raising [Failure] in strict mode).
+    Returns this request's [(comm, migrations)] — cumulative totals are in
+    {!stepper_result}.  Raises [Invalid_argument] if [e] is out of
+    [\[0, n)]. *)
+
+val stepper_result : stepper -> result
+(** Cumulative totals so far ([per_step] is always [None]; the returned
+    [cost] is the live accumulator, not a copy). *)
+
 val run :
   ?strict:bool ->
   ?record_steps:bool ->

@@ -1,0 +1,128 @@
+module Binc = Rbgp_util.Binc
+
+type t = {
+  alg : string;
+  epsilon : float;
+  seed : int;
+  n : int;
+  ell : int;
+  k : int;
+  initial : int array;
+  pos : int;
+  prefix : int array;
+  comm : int;
+  mig : int;
+  max_load : int;
+  violations : int;
+  assignment : int array;
+  alg_state : string option;
+}
+
+let magic = "RBGC"
+let version = 1
+
+let fail ?(path = "<string>") fmt =
+  Printf.ksprintf
+    (fun msg -> invalid_arg (Printf.sprintf "Checkpoint: %s: %s" path msg))
+    fmt
+
+(* "%h" prints the exact bits as a hex float literal; float_of_string
+   reads it back losslessly *)
+let add_float buf f = Binc.add_string buf (Printf.sprintf "%h" f)
+
+let read_float ?path r =
+  let s = Binc.read_string r in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail ?path "bad float literal %S" s
+
+let to_string t =
+  let buf = Buffer.create (64 + (8 * (t.pos + t.n))) in
+  Buffer.add_string buf magic;
+  Binc.add_varint buf version;
+  Binc.add_string buf t.alg;
+  add_float buf t.epsilon;
+  Binc.add_zigzag buf t.seed;
+  Binc.add_varint buf t.n;
+  Binc.add_varint buf t.ell;
+  Binc.add_varint buf t.k;
+  Binc.add_int_array buf t.initial;
+  Binc.add_varint buf t.pos;
+  Binc.add_int_array buf t.prefix;
+  Binc.add_varint buf t.comm;
+  Binc.add_varint buf t.mig;
+  Binc.add_varint buf t.max_load;
+  Binc.add_varint buf t.violations;
+  Binc.add_int_array buf t.assignment;
+  (match t.alg_state with
+  | None -> Binc.add_varint buf 0
+  | Some s ->
+      Binc.add_varint buf 1;
+      Binc.add_string buf s);
+  Buffer.contents buf
+
+let of_string ?path s =
+  if String.length s < String.length magic
+     || not (String.equal (String.sub s 0 (String.length magic)) magic)
+  then fail ?path "bad magic (not a checkpoint file)";
+  let r = Binc.reader ~pos:(String.length magic) s in
+  (try
+     let v = Binc.read_varint r in
+     if v <> version then fail ?path "unsupported checkpoint version %d" v;
+     let alg = Binc.read_string r in
+     let epsilon = read_float ?path r in
+     let seed = Binc.read_zigzag r in
+     let n = Binc.read_varint r in
+     let ell = Binc.read_varint r in
+     let k = Binc.read_varint r in
+     let initial = Binc.read_int_array r in
+     let pos = Binc.read_varint r in
+     let prefix = Binc.read_int_array r in
+     let comm = Binc.read_varint r in
+     let mig = Binc.read_varint r in
+     let max_load = Binc.read_varint r in
+     let violations = Binc.read_varint r in
+     let assignment = Binc.read_int_array r in
+     let alg_state =
+       match Binc.read_varint r with
+       | 0 -> None
+       | 1 -> Some (Binc.read_string r)
+       | tag -> fail ?path "bad alg_state tag %d" tag
+     in
+     if Array.length prefix <> pos then
+       fail ?path "prefix length %d does not match pos %d"
+         (Array.length prefix) pos;
+     if Array.length initial <> n || Array.length assignment <> n then
+       fail ?path "assignment arrays do not match n = %d" n;
+     {
+       alg; epsilon; seed; n; ell; k; initial; pos; prefix;
+       comm; mig; max_load; violations; assignment; alg_state;
+     }
+   with Invalid_argument msg when String.length msg >= 4
+                                  && String.equal (String.sub msg 0 4) "Binc"
+     -> fail ?path "torn record (%s)" msg)
+
+let write ~path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let read ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string ~path (really_input_string ic len))
+
+let to_json t =
+  Printf.sprintf
+    "{\"type\":\"checkpoint\",\"version\":%d,\"alg\":\"%s\",\"epsilon\":%g,\
+     \"seed\":%d,\"n\":%d,\"ell\":%d,\"k\":%d,\"pos\":%d,\"comm\":%d,\
+     \"mig\":%d,\"max_load\":%d,\"violations\":%d,\"explicit_state\":%b,\
+     \"prefix_len\":%d}"
+    version t.alg t.epsilon t.seed t.n t.ell t.k t.pos t.comm t.mig
+    t.max_load t.violations
+    (Option.is_some t.alg_state)
+    (Array.length t.prefix)

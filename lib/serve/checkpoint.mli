@@ -1,0 +1,60 @@
+(** Versioned serving snapshots: everything needed to resume a streaming
+    run and to verify the resumption is exact.
+
+    A checkpoint captures the run's {e identity} (algorithm name, epsilon,
+    rng seed, instance parameters), its {e position} (number of requests
+    served, plus the full served prefix), its {e accounting} (cumulative
+    communication/migration, running maximum load, capacity violations)
+    and its {e state} (the current assignment, plus — when the algorithm
+    implements the explicit {!Rbgp_ring.Online.t} snapshot hook — an
+    opaque algorithm-state blob).
+
+    {!Engine.resume} has two paths, both ending in verification against
+    the stored assignment and cost:
+
+    + {b explicit restore}: the algorithm state blob is handed to the
+      algorithm's [restore] hook — O(state), no replay;
+    + {b deterministic prefix replay}: the algorithm is rebuilt from
+      [(name, epsilon, seed, instance)] and the stored prefix is re-served
+      through the same accounting — O(prefix), available for {e every}
+      registered algorithm because all of them are deterministic functions
+      of those four parameters.
+
+    On-disk layout: magic ["RBGC"], varint format version, then a
+    Binc-framed record (see the implementation for field order).  Floats
+    travel as ["%h"] hex-float strings, which round-trip exactly. *)
+
+type t = {
+  alg : string;
+  epsilon : float;
+  seed : int;
+  n : int;
+  ell : int;
+  k : int;
+  initial : int array;
+  pos : int;  (** requests served before the snapshot *)
+  prefix : int array;  (** the served requests, length [pos] *)
+  comm : int;
+  mig : int;
+  max_load : int;
+  violations : int;
+  assignment : int array;  (** assignment after request [pos - 1] *)
+  alg_state : string option;  (** explicit algorithm snapshot, if supported *)
+}
+
+val magic : string
+val version : int
+
+val write : path:string -> t -> unit
+
+val read : path:string -> t
+(** Raises [Invalid_argument] naming the path on bad magic, unsupported
+    version or a torn record. *)
+
+val to_string : t -> string
+val of_string : ?path:string -> string -> t
+
+val to_json : t -> string
+(** Inspection record for [rbgp checkpoint]: all scalar fields, array
+    lengths rather than contents, and whether an explicit state blob is
+    present. *)

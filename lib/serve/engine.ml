@@ -1,0 +1,196 @@
+module Instance = Rbgp_ring.Instance
+module Online = Rbgp_ring.Online
+module Assignment = Rbgp_ring.Assignment
+module Simulator = Rbgp_ring.Simulator
+module Cost = Rbgp_ring.Cost
+
+type decision = {
+  step : int;
+  edge : int;
+  comm : int;
+  moved : int;
+  cum_comm : int;
+  cum_mig : int;
+  max_load : int;
+  latency_ns : int;
+}
+
+type t = {
+  inst : Instance.t;
+  alg_name : string;
+  epsilon : float;
+  seed : int;
+  online : Online.t;
+  stepper : Simulator.stepper;
+  metrics : Metrics.t;
+  mutable prefix : int array;
+  mutable pos : int;
+}
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let make_engine ?(strict = true) ?(accounting = `Auto) ~epsilon ~alg ~seed
+    ?(cost = Cost.zero ()) ?max_load ?violations ?(steps_done = 0)
+    ?(prefix = [||]) (inst : Instance.t) (online : Online.t) =
+  let stepper =
+    Simulator.stepper ~strict ~accounting ~cost ?max_load ?violations
+      ~steps_done inst online
+  in
+  let cap = max 1024 (Array.length prefix) in
+  let buf = Array.make cap 0 in
+  Array.blit prefix 0 buf 0 (Array.length prefix);
+  {
+    inst;
+    alg_name = alg;
+    epsilon;
+    seed;
+    online;
+    stepper;
+    metrics = Metrics.create ();
+    prefix = buf;
+    pos = steps_done;
+  }
+
+let create ?strict ?accounting ?(epsilon = 0.5) ~alg ~seed inst =
+  let spec = Registry.find alg in
+  let online = spec.Registry.build ~epsilon ~seed inst in
+  make_engine ?strict ?accounting ~epsilon ~alg ~seed inst online
+
+let push_prefix t e =
+  if t.pos >= Array.length t.prefix then begin
+    let bigger = Array.make (2 * Array.length t.prefix) 0 in
+    Array.blit t.prefix 0 bigger 0 t.pos;
+    t.prefix <- bigger
+  end;
+  t.prefix.(t.pos) <- e
+
+let ingest t e =
+  let t0 = now_ns () in
+  let comm, moved = Simulator.step t.stepper e in
+  push_prefix t e;
+  t.pos <- t.pos + 1;
+  let r = Simulator.stepper_result t.stepper in
+  let latency_ns = now_ns () - t0 in
+  Metrics.observe t.metrics ~latency_ns ~comm ~moved
+    ~max_load:r.Simulator.max_load;
+  {
+    step = t.pos - 1;
+    edge = e;
+    comm;
+    moved;
+    cum_comm = r.Simulator.cost.Cost.comm;
+    cum_mig = r.Simulator.cost.Cost.mig;
+    max_load = r.Simulator.max_load;
+    latency_ns;
+  }
+
+let pos t = t.pos
+let result t = Simulator.stepper_result t.stepper
+let assignment t = Assignment.to_array (t.online.Online.assignment ())
+let online t = t.online
+let metrics t = t.metrics
+
+let checkpoint t =
+  let r = result t in
+  {
+    Checkpoint.alg = t.alg_name;
+    epsilon = t.epsilon;
+    seed = t.seed;
+    n = t.inst.Instance.n;
+    ell = t.inst.Instance.ell;
+    k = t.inst.Instance.k;
+    initial = Array.copy t.inst.Instance.initial;
+    pos = t.pos;
+    prefix = Array.sub t.prefix 0 t.pos;
+    comm = r.Simulator.cost.Cost.comm;
+    mig = r.Simulator.cost.Cost.mig;
+    max_load = r.Simulator.max_load;
+    violations = r.Simulator.capacity_violations;
+    assignment = assignment t;
+    alg_state =
+      Option.map (fun snap -> snap ()) t.online.Online.snapshot;
+  }
+
+let verify_against (ckpt : Checkpoint.t) t ~how =
+  let r = result t in
+  let mismatch what got want =
+    failwith
+      (Printf.sprintf
+         "Engine.resume: %s of %s diverged from checkpoint after %s: %s = %d, \
+          checkpoint says %d"
+         what ckpt.Checkpoint.alg how what got want)
+  in
+  if r.Simulator.cost.Cost.comm <> ckpt.Checkpoint.comm then
+    mismatch "comm" r.Simulator.cost.Cost.comm ckpt.Checkpoint.comm;
+  if r.Simulator.cost.Cost.mig <> ckpt.Checkpoint.mig then
+    mismatch "mig" r.Simulator.cost.Cost.mig ckpt.Checkpoint.mig;
+  if r.Simulator.max_load <> ckpt.Checkpoint.max_load then
+    mismatch "max_load" r.Simulator.max_load ckpt.Checkpoint.max_load;
+  if r.Simulator.capacity_violations <> ckpt.Checkpoint.violations then
+    mismatch "violations" r.Simulator.capacity_violations
+      ckpt.Checkpoint.violations;
+  if not (assignment t = ckpt.Checkpoint.assignment) then
+    failwith
+      (Printf.sprintf
+         "Engine.resume: assignment of %s diverged from checkpoint after %s"
+         ckpt.Checkpoint.alg how)
+
+let resume ?(strict = true) ?(accounting = `Auto) (ckpt : Checkpoint.t) =
+  let inst =
+    Instance.make ~n:ckpt.Checkpoint.n ~ell:ckpt.Checkpoint.ell
+      ~k:ckpt.Checkpoint.k ~initial:(Array.copy ckpt.Checkpoint.initial) ()
+  in
+  let spec = Registry.find ckpt.Checkpoint.alg in
+  let online =
+    spec.Registry.build ~epsilon:ckpt.Checkpoint.epsilon
+      ~seed:ckpt.Checkpoint.seed inst
+  in
+  match (ckpt.Checkpoint.alg_state, online.Online.restore) with
+  | Some state, Some restore ->
+      (* explicit restore: O(state), no replay.  The stepper created below
+         snapshots the restored assignment as its baseline, so restore-time
+         moves are not billed, exactly like construction-time moves. *)
+      restore state;
+      let t =
+        make_engine ~strict ~accounting ~epsilon:ckpt.Checkpoint.epsilon
+          ~alg:ckpt.Checkpoint.alg ~seed:ckpt.Checkpoint.seed
+          ~cost:
+            {
+              Cost.comm = ckpt.Checkpoint.comm;
+              Cost.mig = ckpt.Checkpoint.mig;
+            }
+          ~max_load:ckpt.Checkpoint.max_load
+          ~violations:ckpt.Checkpoint.violations
+          ~steps_done:ckpt.Checkpoint.pos ~prefix:ckpt.Checkpoint.prefix inst
+          online
+      in
+      verify_against ckpt t ~how:"explicit state restore";
+      t
+  | _ ->
+      (* deterministic prefix replay: rebuild from (alg, epsilon, seed,
+         instance) and re-serve the stored prefix through the same
+         accounting *)
+      let t =
+        make_engine ~strict ~accounting ~epsilon:ckpt.Checkpoint.epsilon
+          ~alg:ckpt.Checkpoint.alg ~seed:ckpt.Checkpoint.seed inst online
+      in
+      Array.iter (fun e -> ignore (ingest t e)) ckpt.Checkpoint.prefix;
+      verify_against ckpt t ~how:"prefix replay";
+      Metrics.reset t.metrics;
+      t
+
+let decision_to_json d =
+  Printf.sprintf
+    "{\"type\":\"decision\",\"step\":%d,\"edge\":%d,\"comm\":%d,\"mig\":%d,\
+     \"cum_comm\":%d,\"cum_mig\":%d,\"max_load\":%d,\"latency_ns\":%d}"
+    d.step d.edge d.comm d.moved d.cum_comm d.cum_mig d.max_load d.latency_ns
+
+let result_to_json t =
+  let r = result t in
+  Printf.sprintf
+    "{\"type\":\"result\",\"alg\":\"%s\",\"requests\":%d,\"comm\":%d,\
+     \"mig\":%d,\"total\":%d,\"max_load\":%d,\"violations\":%d}"
+    t.alg_name r.Simulator.steps r.Simulator.cost.Cost.comm
+    r.Simulator.cost.Cost.mig
+    (Cost.total r.Simulator.cost)
+    r.Simulator.max_load r.Simulator.capacity_violations

@@ -1,0 +1,83 @@
+(** The incremental serving engine: request in, decision out.
+
+    Wraps a registered algorithm ({!Registry}) and the simulator's
+    accounting stepper ({!Rbgp_ring.Simulator.stepper}) behind an
+    [ingest : int -> decision] API that can be driven from an unbounded
+    source — a pipe, a socket, a trace file — one request at a time, with
+    live {!Metrics} and {!Checkpoint} snapshots at any point.
+
+    {2 Determinism contract}
+
+    An engine is a deterministic function of
+    [(alg, epsilon, seed, instance)] and the request sequence: serving the
+    same requests always yields the same decisions, costs and assignments
+    (latencies excepted).  This is what makes checkpoint/resume exact and
+    cheap to verify — see {!resume}. *)
+
+type decision = {
+  step : int;  (** 0-based index of the request just served *)
+  edge : int;
+  comm : int;  (** communication charged for this request (0/1) *)
+  moved : int;  (** migrations charged for this request *)
+  cum_comm : int;
+  cum_mig : int;
+  max_load : int;  (** running maximum load *)
+  latency_ns : int;  (** wall-clock ingest latency of this request *)
+}
+
+type t
+
+val create :
+  ?strict:bool ->
+  ?accounting:Rbgp_ring.Simulator.accounting ->
+  ?epsilon:float ->
+  alg:string ->
+  seed:int ->
+  Rbgp_ring.Instance.t ->
+  t
+(** Builds the named algorithm through {!Registry.find} (raising
+    [Invalid_argument] for unknown names) and starts a fresh accounting
+    stepper.  [epsilon] defaults to [0.5]. *)
+
+val ingest : t -> int -> decision
+(** Serve one request: charge communication, run the algorithm, charge
+    migrations, check capacity ([Failure] in strict mode on violation),
+    record the request in the replay prefix and update metrics. *)
+
+val pos : t -> int
+(** Requests served so far (including any checkpointed prefix). *)
+
+val result : t -> Rbgp_ring.Simulator.result
+(** Cumulative totals, identical to what a batch {!Rbgp_ring.Simulator.run}
+    over the same request sequence reports. *)
+
+val assignment : t -> int array
+val online : t -> Rbgp_ring.Online.t
+val metrics : t -> Metrics.t
+
+val checkpoint : t -> Checkpoint.t
+(** Snapshot the run: instance parameters, seed, served prefix, cumulative
+    costs, current assignment, and the algorithm's explicit state when it
+    implements the snapshot hook. *)
+
+val resume :
+  ?strict:bool ->
+  ?accounting:Rbgp_ring.Simulator.accounting ->
+  Checkpoint.t ->
+  t
+(** Reconstruct an engine mid-stream.  Uses the explicit-restore fast path
+    (O(state)) when the checkpoint carries an algorithm state blob and the
+    rebuilt algorithm implements [restore]; otherwise replays the stored
+    prefix deterministically (O(prefix)).  Either way the reconstructed
+    assignment and cumulative costs are verified against the checkpoint,
+    and [Failure] is raised on any mismatch — a resumed engine is
+    therefore byte-identical (costs, assignments, reports) to one that
+    never stopped.  Replayed requests are excluded from metrics. *)
+
+val decision_to_json : decision -> string
+(** One-line JSON record (type tag ["decision"]) for the [rbgp serve]
+    JSONL stream. *)
+
+val result_to_json : t -> string
+(** Final summary record (type tag ["result"]): algorithm, requests
+    served, cumulative costs, max load, violations. *)

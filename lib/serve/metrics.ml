@@ -1,0 +1,97 @@
+let nbuckets = 63
+
+type t = {
+  buckets : int array;
+  mutable requests : int;
+  mutable comm : int;
+  mutable mig : int;
+  mutable max_load : int;
+  mutable lat_sum_ns : float;
+  mutable t0 : float;
+}
+
+let create () =
+  {
+    buckets = Array.make nbuckets 0;
+    requests = 0;
+    comm = 0;
+    mig = 0;
+    max_load = 0;
+    lat_sum_ns = 0.0;
+    t0 = Unix.gettimeofday ();
+  }
+
+let reset t =
+  Array.fill t.buckets 0 nbuckets 0;
+  t.requests <- 0;
+  t.comm <- 0;
+  t.mig <- 0;
+  t.max_load <- 0;
+  t.lat_sum_ns <- 0.0;
+  t.t0 <- Unix.gettimeofday ()
+
+let bucket_of ns =
+  if ns <= 1 then 0
+  else
+    let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
+    min (nbuckets - 1) (go 0 ns)
+
+let observe t ~latency_ns ~comm ~moved ~max_load =
+  let latency_ns = max 0 latency_ns in
+  t.buckets.(bucket_of latency_ns) <- t.buckets.(bucket_of latency_ns) + 1;
+  t.requests <- t.requests + 1;
+  t.comm <- t.comm + comm;
+  t.mig <- t.mig + moved;
+  if max_load > t.max_load then t.max_load <- max_load;
+  t.lat_sum_ns <- t.lat_sum_ns +. float_of_int latency_ns
+
+let requests t = t.requests
+let comm t = t.comm
+let mig t = t.mig
+let max_load t = t.max_load
+
+let elapsed_s t = Unix.gettimeofday () -. t.t0
+
+let rps t =
+  if t.requests = 0 then 0.0
+  else
+    let dt = elapsed_s t in
+    if dt <= 0.0 then 0.0 else float_of_int t.requests /. dt
+
+let quantile t q =
+  if t.requests = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int t.requests)) in
+      max 1 (min t.requests r)
+    in
+    let acc = ref 0 and found = ref 0 in
+    (try
+       for i = 0 to nbuckets - 1 do
+         acc := !acc + t.buckets.(i);
+         if !acc >= rank then begin
+           found := (if i = 0 then 0 else 1 lsl i);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !found
+  end
+
+let mean_latency_ns t =
+  if t.requests = 0 then 0.0 else t.lat_sum_ns /. float_of_int t.requests
+
+let to_json t =
+  Printf.sprintf
+    "{\"type\":\"metrics\",\"requests\":%d,\"rps\":%.1f,\"p50_ns\":%d,\
+     \"p90_ns\":%d,\"p99_ns\":%d,\"mean_ns\":%.0f,\"comm\":%d,\"mig\":%d,\
+     \"max_load\":%d,\"elapsed_s\":%.3f}"
+    t.requests (rps t) (quantile t 0.5) (quantile t 0.9) (quantile t 0.99)
+    (mean_latency_ns t) t.comm t.mig t.max_load (elapsed_s t)
+
+let summary t =
+  Printf.sprintf
+    "served %d requests in %.2fs (%.0f req/s); ingest latency p50 %dns p90 \
+     %dns p99 %dns mean %.0fns; cost comm=%d mig=%d; max load %d"
+    t.requests (elapsed_s t) (rps t) (quantile t 0.5) (quantile t 0.9)
+    (quantile t 0.99) (mean_latency_ns t) t.comm t.mig t.max_load

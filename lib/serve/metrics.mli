@@ -1,0 +1,52 @@
+(** Live serving metrics: a log-bucketed ingest-latency histogram plus
+    cumulative request/cost counters.
+
+    The histogram has one bucket per power of two of nanoseconds (bucket
+    [i] holds latencies in [\[2^i, 2^{i+1})]), so recording is O(1),
+    allocation-free and the whole structure is a few hundred bytes —
+    cheap enough to update on every request of a hot serving loop.
+    Quantiles are therefore bucket-resolution approximations: {!quantile}
+    returns the lower bound of the bucket containing the requested rank
+    (within a factor of 2 of the true value).
+
+    [rbgp serve] embeds {!to_json} records in its JSONL output every N
+    requests, dumps {!summary} to stderr on SIGUSR1 and at exit, and the
+    bench harness reads p50/p99 from here for [BENCH_3.json]. *)
+
+type t
+
+val create : unit -> t
+(** Starts the wall clock. *)
+
+val reset : t -> unit
+(** Zero all counters and restart the wall clock (used after a checkpoint
+    replay so replayed requests don't pollute live throughput figures). *)
+
+val observe : t -> latency_ns:int -> comm:int -> moved:int -> max_load:int -> unit
+(** Record one served request: its ingest latency, the communication
+    (0/1) and migrations charged for it, and the cumulative maximum load
+    after it. *)
+
+val requests : t -> int
+val comm : t -> int
+val mig : t -> int
+val max_load : t -> int
+
+val elapsed_s : t -> float
+val rps : t -> float
+(** [requests / elapsed]; [0.] before the first request. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in [\[0, 1\]]: approximate latency in
+    nanoseconds at rank [q] (lower bound of the covering bucket); [0]
+    when nothing was observed. *)
+
+val mean_latency_ns : t -> float
+
+val to_json : t -> string
+(** One-line JSON object (type tag ["metrics"]): requests, rps, p50/p90/p99
+    latency ns, mean latency, cumulative comm/mig, max load, elapsed
+    seconds. *)
+
+val summary : t -> string
+(** Human-readable one-paragraph rendering of the same numbers. *)

@@ -1,0 +1,24 @@
+(** The serving layer's algorithm registry: every algorithm that can be
+    driven by an unbounded request stream, buildable from
+    [(name, epsilon, seed, instance)] alone.
+
+    This is the closure the checkpoint format is defined over: a snapshot
+    names its algorithm, and {!Engine.resume} rebuilds it through this
+    registry, so everything here must be a deterministic function of the
+    four parameters.  The batch-only [static-oracle] baseline is absent by
+    construction — it needs the whole future trace at build time, which a
+    stream cannot provide. *)
+
+type spec = {
+  name : string;
+  build : epsilon:float -> seed:int -> Rbgp_ring.Instance.t -> Rbgp_ring.Online.t;
+}
+
+val all : spec list
+(** The paper's two algorithms, the MTS-solver variants of the dynamic
+    one, and the streamable baselines. *)
+
+val names : string list
+
+val find : string -> spec
+(** Raises [Invalid_argument] listing the known names. *)

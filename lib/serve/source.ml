@@ -1,0 +1,52 @@
+module Trace_io = Rbgp_workloads.Trace_io
+module Trace_codec = Rbgp_workloads.Trace_codec
+
+type format = [ `Auto | `Text | `Binary ]
+
+type t = {
+  next_req : unit -> int option;
+  hdr : Trace_codec.header option;
+  ic : in_channel;
+  owns_channel : bool;
+}
+
+let of_channel ?(path = "<channel>") ~format ~n ic =
+  match format with
+  | `Text ->
+      let lineno = ref 0 in
+      {
+        next_req = (fun () -> Trace_io.input_request_opt ~path ~lineno ic ~n);
+        hdr = None;
+        ic;
+        owns_channel = false;
+      }
+  | `Binary ->
+      let hdr = Trace_codec.input_header ~path ic in
+      if hdr.Trace_codec.n <> n then
+        invalid_arg
+          (Printf.sprintf
+             "Source: %s: binary trace is for n = %d, expected n = %d" path
+             hdr.Trace_codec.n n);
+      {
+        next_req = (fun () -> Trace_codec.input_request_opt ~path ic ~n);
+        hdr = Some hdr;
+        ic;
+        owns_channel = false;
+      }
+
+let open_file ?(format = `Auto) ~n path =
+  let format =
+    match format with
+    | (`Text | `Binary) as f -> f
+    | `Auto -> if Trace_codec.looks_binary ~path then `Binary else `Text
+  in
+  let ic = open_in_bin path in
+  match of_channel ~path ~format ~n ic with
+  | src -> { src with owns_channel = true }
+  | exception e ->
+      close_in_noerr ic;
+      raise e
+
+let next t = t.next_req ()
+let header t = t.hdr
+let close t = if t.owns_channel then close_in_noerr t.ic

@@ -1,0 +1,33 @@
+(** Pull-based request sources for the serving loop: a file, a pipe or
+    stdin, in either the text ({!Rbgp_workloads.Trace_io}) or framed
+    binary ({!Rbgp_workloads.Trace_codec}) format.
+
+    A source yields one validated edge per {!next} call and [None] at a
+    clean end-of-stream, so the serving loop never materializes the trace
+    — requests can keep arriving for as long as the producer lives. *)
+
+type t
+
+type format = [ `Auto | `Text | `Binary ]
+
+val of_channel :
+  ?path:string -> format:[ `Text | `Binary ] -> n:int -> in_channel -> t
+(** Wrap an already-open channel (e.g. stdin).  For [`Binary] the framed
+    header is read and validated against [n] immediately.  [`Auto] is not
+    available here: distinguishing the formats requires a peek the channel
+    cannot take back. *)
+
+val open_file : ?format:format -> n:int -> string -> t
+(** Open a trace file; [`Auto] (default) detects the binary magic.  The
+    caller must {!close}. *)
+
+val next : t -> int option
+(** The next request, validated against [n]; raises [Invalid_argument]
+    (naming the path) on malformed input. *)
+
+val header : t -> Rbgp_workloads.Trace_codec.header option
+(** The binary header, when the source is framed. *)
+
+val close : t -> unit
+(** Closes the underlying channel if this source owns it (i.e. was opened
+    by {!open_file}); no-op otherwise. *)

@@ -1,0 +1,101 @@
+let add_varint buf v =
+  if v < 0 then invalid_arg "Binc.add_varint: negative";
+  let v = ref v in
+  while !v >= 0x80 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!v land 0x7f)));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !v)
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag z = (z lsr 1) lxor (-(z land 1))
+
+let add_zigzag buf n = add_varint buf (zigzag n)
+
+let add_string buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let add_int_array buf a =
+  add_varint buf (Array.length a);
+  Array.iter (fun x -> add_zigzag buf x) a
+
+type reader = { data : string; mutable pos : int }
+
+let reader ?(pos = 0) data = { data; pos }
+
+let read_varint r =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if r.pos >= String.length r.data then
+      invalid_arg "Binc.read_varint: truncated input";
+    if !shift > 62 then invalid_arg "Binc.read_varint: varint too long";
+    let b = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    v := !v lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := b land 0x80 <> 0
+  done;
+  !v
+
+let read_zigzag r = unzigzag (read_varint r)
+
+let read_string r =
+  let len = read_varint r in
+  if r.pos + len > String.length r.data then
+    invalid_arg "Binc.read_string: truncated input";
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let read_int_array r =
+  let len = read_varint r in
+  Array.init len (fun _ -> read_zigzag r)
+
+let at_end r = r.pos >= String.length r.data
+
+let output_varint oc v =
+  if v < 0 then invalid_arg "Binc.output_varint: negative";
+  let v = ref v in
+  while !v >= 0x80 do
+    output_char oc (Char.chr (0x80 lor (!v land 0x7f)));
+    v := !v lsr 7
+  done;
+  output_char oc (Char.chr !v)
+
+let output_zigzag oc n = output_varint oc (zigzag n)
+
+(* [first]: a clean EOF before any byte is a normal end-of-stream
+   (End_of_file propagates / None); after the first byte the varint is
+   torn, which is corruption, not end-of-stream *)
+let input_varint_from ~first oc_byte =
+  let v = ref 0 and shift = ref 0 and continue = ref true and first = ref first in
+  while !continue do
+    if !shift > 62 then invalid_arg "Binc.input_varint: varint too long";
+    let b =
+      if !first then oc_byte ()
+      else
+        try oc_byte ()
+        with End_of_file -> invalid_arg "Binc.input_varint: truncated input"
+    in
+    first := false;
+    v := !v lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := b land 0x80 <> 0
+  done;
+  !v
+
+let input_varint ic = input_varint_from ~first:true (fun () -> input_byte ic)
+
+let input_varint_opt ic =
+  match input_byte ic with
+  | exception End_of_file -> None
+  | b0 ->
+      if b0 land 0x80 = 0 then Some b0
+      else
+        let rest =
+          input_varint_from ~first:false (fun () -> input_byte ic)
+        in
+        Some ((b0 land 0x7f) lor (rest lsl 7))
+
+let input_zigzag ic = unzigzag (input_varint ic)

@@ -1,0 +1,48 @@
+(** Minimal binary codec: LEB128 varints over buffers, strings and
+    channels.
+
+    Shared by the framed binary trace format ({!Rbgp_workloads.Trace_codec})
+    and the serving layer's checkpoint snapshots
+    ({!Rbgp_serve.Checkpoint}): both need compact, versioned,
+    endian-independent integer framing without pulling in a serialization
+    dependency.  Unsigned varints are standard LEB128 (7 bits per byte,
+    high bit = continuation); signed values go through the zigzag map
+    [(n lsl 1) lxor (n asr 62)] first so small negatives stay short. *)
+
+val add_varint : Buffer.t -> int -> unit
+(** Append an unsigned LEB128 varint.  Requires the value [>= 0]. *)
+
+val add_zigzag : Buffer.t -> int -> unit
+(** Append a signed integer, zigzag-mapped then LEB128-encoded. *)
+
+val add_string : Buffer.t -> string -> unit
+(** Append a length-prefixed (varint) byte string. *)
+
+val add_int_array : Buffer.t -> int array -> unit
+(** Append a varint length followed by each element zigzag-encoded. *)
+
+type reader
+(** A cursor over an immutable byte string. *)
+
+val reader : ?pos:int -> string -> reader
+val read_varint : reader -> int
+val read_zigzag : reader -> int
+val read_string : reader -> string
+val read_int_array : reader -> int array
+val at_end : reader -> bool
+
+(** All [read_*] functions raise [Invalid_argument] on truncated input or
+    varints longer than 63 bits. *)
+
+val output_varint : out_channel -> int -> unit
+val output_zigzag : out_channel -> int -> unit
+
+val input_varint : in_channel -> int
+(** Raises [End_of_file] when the channel is exhausted {e before the first
+    byte}; a truncation mid-varint raises [Invalid_argument] instead, so a
+    clean end-of-stream is distinguishable from a corrupt tail. *)
+
+val input_varint_opt : in_channel -> int option
+(** [None] at clean end-of-stream; mid-varint truncation still raises. *)
+
+val input_zigzag : in_channel -> int

@@ -1,0 +1,86 @@
+module Binc = Rbgp_util.Binc
+
+let magic = "RBGT"
+let version = 1
+
+type header = { version : int; n : int; ell : int; seed : int }
+
+let fail ?(path = "<channel>") fmt =
+  Printf.ksprintf
+    (fun msg -> invalid_arg (Printf.sprintf "Trace_codec: %s: %s" path msg))
+    fmt
+
+let output_header oc ~n ~ell ~seed =
+  output_string oc magic;
+  Binc.output_varint oc version;
+  Binc.output_varint oc n;
+  Binc.output_varint oc ell;
+  Binc.output_zigzag oc seed
+
+let input_header ?path ic =
+  let m = try really_input_string ic (String.length magic) with
+    | End_of_file -> fail ?path "missing magic (file shorter than %d bytes)"
+                       (String.length magic)
+  in
+  if m <> magic then
+    fail ?path "bad magic %S (expected %S — not a binary trace?)" m magic;
+  let v = Binc.input_varint ic in
+  if v <> version then fail ?path "unsupported format version %d" v;
+  let n = Binc.input_varint ic in
+  if n <= 0 then fail ?path "header n = %d is not positive" n;
+  let ell = Binc.input_varint ic in
+  let seed = Binc.input_zigzag ic in
+  { version = v; n; ell; seed }
+
+let output_request oc e = Binc.output_varint oc e
+
+let input_request_opt ?path ic ~n =
+  match Binc.input_varint_opt ic with
+  | None -> None
+  | Some e ->
+      if e < 0 || e >= n then fail ?path "edge %d out of [0, %d)" e n;
+      Some e
+  | exception Invalid_argument _ -> fail ?path "torn frame (truncated varint)"
+
+let write ~path ~n ?(ell = 0) ?(seed = 0) trace =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_header oc ~n ~ell ~seed;
+      Array.iter
+        (fun e ->
+          if e < 0 || e >= n then
+            fail ~path "cannot write edge %d out of [0, %d)" e n;
+          output_request oc e)
+        trace)
+
+let with_in path f =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+
+let fold ~path ~n ~init ~f =
+  with_in path (fun ic ->
+      let header = input_header ~path ic in
+      if header.n <> n then
+        fail ~path "header n = %d does not match expected n = %d" header.n n;
+      let acc = ref init in
+      let continue = ref true in
+      while !continue do
+        match input_request_opt ~path ic ~n with
+        | Some e -> acc := f !acc e
+        | None -> continue := false
+      done;
+      (header, !acc))
+
+let read ~path ~n =
+  let _, acc = fold ~path ~n ~init:[] ~f:(fun acc e -> e :: acc) in
+  Array.of_list (List.rev acc)
+
+let read_header ~path = with_in path (fun ic -> input_header ~path ic)
+
+let looks_binary ~path =
+  with_in path (fun ic ->
+      match really_input_string ic (String.length magic) with
+      | m -> String.equal m magic
+      | exception End_of_file -> false)

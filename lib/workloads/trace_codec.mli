@@ -1,0 +1,55 @@
+(** Framed binary trace format, the streaming counterpart of {!Trace_io}.
+
+    Layout (all integers LEB128 varints, see {!Rbgp_util.Binc}):
+
+    {v
+    magic   "RBGT"            4 bytes
+    version varint            format version, currently 1
+    n       varint            ring size every edge is validated against
+    ell     varint            server count hint (0 = unspecified)
+    seed    zigzag varint     provenance seed (0 = unspecified)
+    body    frame*            one frame per request, until end of stream
+    v}
+
+    A version-1 frame is a single varint: the requested edge index in
+    [\[0, n)].  Framing is self-delimiting, so readers consume requests one
+    at a time without knowing the trace length in advance — [rbgp serve]
+    reads from a pipe this way — and a clean end-of-stream is
+    distinguishable from a torn frame (truncation raises).
+
+    Writers emit the current version; readers accept exactly the versions
+    they know.  All decoding errors raise [Invalid_argument] naming the
+    path (or "<channel>" for raw channels). *)
+
+val magic : string
+(** ["RBGT"]. *)
+
+val version : int
+
+type header = { version : int; n : int; ell : int; seed : int }
+
+val output_header : out_channel -> n:int -> ell:int -> seed:int -> unit
+val input_header : ?path:string -> in_channel -> header
+
+val output_request : out_channel -> int -> unit
+
+val input_request_opt : ?path:string -> in_channel -> n:int -> int option
+(** Next framed request, validated against [n]; [None] at clean
+    end-of-stream. *)
+
+val write :
+  path:string -> n:int -> ?ell:int -> ?seed:int -> int array -> unit
+
+val read : path:string -> n:int -> int array
+(** Loads a whole trace; validates the header's [n] equals the caller's
+    expectation.  Prefer {!fold} for large files. *)
+
+val fold :
+  path:string -> n:int -> init:'a -> f:('a -> int -> 'a) -> header * 'a
+(** Streams the file request by request without materializing it. *)
+
+val read_header : path:string -> header
+
+val looks_binary : path:string -> bool
+(** Does the file start with {!magic}?  (Used to auto-detect the trace
+    format; text traces never start with these bytes.) *)

@@ -9,28 +9,45 @@ let save ~path ?comment trace =
       Printf.fprintf oc "# %d requests\n" (Array.length trace);
       Array.iter (fun e -> Printf.fprintf oc "%d\n" e) trace)
 
-let load ~path ~n =
+let fail ~path fmt =
+  Printf.ksprintf
+    (fun msg -> invalid_arg (Printf.sprintf "Trace_io: %s: %s" path msg))
+    fmt
+
+let rec input_request_from ~path ~lineno ic ~n =
+  match input_line ic with
+  | exception End_of_file -> None
+  | line ->
+      incr lineno;
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then input_request_from ~path ~lineno ic ~n
+      else
+        match int_of_string_opt line with
+        | Some e when e >= 0 && e < n -> Some e
+        | Some _ -> fail ~path "line %d: edge out of [0, %d)" !lineno n
+        | None -> fail ~path "line %d: not an integer" !lineno
+
+let input_request_opt ?(path = "<channel>") ?lineno ic ~n =
+  let lineno = match lineno with Some r -> r | None -> ref 0 in
+  input_request_from ~path ~lineno ic ~n
+
+let fold_channel ?(path = "<channel>") ic ~n ~init ~f =
+  let acc = ref init in
+  let lineno = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match input_request_from ~path ~lineno ic ~n with
+    | Some e -> acc := f !acc e
+    | None -> continue := false
+  done;
+  !acc
+
+let fold ~path ~n ~init ~f =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let acc = ref [] in
-      let lineno = ref 0 in
-      (try
-         while true do
-           incr lineno;
-           let line = String.trim (input_line ic) in
-           if line <> "" && line.[0] <> '#' then
-             match int_of_string_opt line with
-             | Some e when e >= 0 && e < n -> acc := e :: !acc
-             | Some _ ->
-                 invalid_arg
-                   (Printf.sprintf "Trace_io.load: line %d: edge out of [0, %d)"
-                      !lineno n)
-             | None ->
-                 invalid_arg
-                   (Printf.sprintf "Trace_io.load: line %d: not an integer"
-                      !lineno)
-         done
-       with End_of_file -> ());
-      Array.of_list (List.rev !acc))
+    (fun () -> fold_channel ~path ic ~n ~init ~f)
+
+let load ~path ~n =
+  let acc = fold ~path ~n ~init:[] ~f:(fun acc e -> e :: acc) in
+  Array.of_list (List.rev acc)

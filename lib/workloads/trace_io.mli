@@ -3,11 +3,30 @@
     Lets real traces (or traces produced by one tool) drive any algorithm
     in this repository, and lets generated traces be exported for external
     analysis.  Lines starting with ['#'] and blank lines are ignored on
-    input; [save] writes a provenance header comment. *)
+    input; [save] writes a provenance header comment.  For the compact,
+    streaming binary format see {!Trace_codec}. *)
 
 val save : path:string -> ?comment:string -> int array -> unit
 
-val load : path:string -> n:int -> int array
-(** Validates every entry against the ring size [n]; raises
-    [Invalid_argument] with the offending line number otherwise, and
+val fold : path:string -> n:int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Streams the file line by line without materializing the trace — the
+    reader behind both [load] and [rbgp serve]'s text input.  Validates
+    every entry against the ring size [n]; raises [Invalid_argument]
+    naming the file path and offending line number otherwise, and
     [Sys_error] on I/O failure. *)
+
+val fold_channel :
+  ?path:string -> in_channel -> n:int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** [fold] over an already-open channel (e.g. stdin); reads to
+    end-of-stream.  [path] is only used in error messages (default
+    ["<channel>"]). *)
+
+val input_request_opt :
+  ?path:string -> ?lineno:int ref -> in_channel -> n:int -> int option
+(** Pull one request: skips blank/comment lines, validates the edge,
+    [None] at end-of-stream.  The streaming serving loop reads stdin this
+    way.  Pass the same [lineno] ref across calls to keep error messages'
+    line numbers accurate. *)
+
+val load : path:string -> n:int -> int array
+(** [fold] materialized into an array, same validation and errors. *)

@@ -1,0 +1,444 @@
+(* Tests for the streaming partition service (lib/serve) and the trace
+   codecs it feeds on.
+
+   The contracts under test:
+   - the incremental engine bills exactly what the batch simulator bills
+     on the same request sequence (every algorithm, both accounting paths);
+   - checkpoint ⇒ resume is byte-identical to an uninterrupted run —
+     costs, max load, violations and final assignment — for every
+     algorithm in the serving registry, whether the resume goes through
+     explicit state restore or deterministic prefix replay, and the
+     verification catches tampered snapshots;
+   - the framed binary trace format round-trips with the text format and
+     detects torn frames;
+   - the streaming text reader matches the materializing loader and names
+     the file in its errors. *)
+
+module Rng = Rbgp_util.Rng
+module Instance = Rbgp_ring.Instance
+module Simulator = Rbgp_ring.Simulator
+module Trace = Rbgp_ring.Trace
+module Cost = Rbgp_ring.Cost
+module Workloads = Rbgp_workloads.Workloads
+module Trace_io = Rbgp_workloads.Trace_io
+module Trace_codec = Rbgp_workloads.Trace_codec
+module Registry = Rbgp_serve.Registry
+module Engine = Rbgp_serve.Engine
+module Ckpt = Rbgp_serve.Checkpoint
+module Metrics = Rbgp_serve.Metrics
+module Source = Rbgp_serve.Source
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let fixed = function Trace.Fixed a -> a | Trace.Adaptive _ -> assert false
+
+let gen_trace ~n ~steps ~seed =
+  fixed (Workloads.rotating ~n ~steps (Rng.create seed))
+
+type outcome = {
+  comm : int;
+  mig : int;
+  steps : int;
+  max_load : int;
+  violations : int;
+  assignment : int array;
+}
+
+let outcome_of engine =
+  let r = Engine.result engine in
+  {
+    comm = r.Simulator.cost.Cost.comm;
+    mig = r.Simulator.cost.Cost.mig;
+    steps = r.Simulator.steps;
+    max_load = r.Simulator.max_load;
+    violations = r.Simulator.capacity_violations;
+    assignment = Engine.assignment engine;
+  }
+
+let check_outcome msg expected got =
+  Alcotest.(check int) (msg ^ ": comm") expected.comm got.comm;
+  Alcotest.(check int) (msg ^ ": mig") expected.mig got.mig;
+  Alcotest.(check int) (msg ^ ": steps") expected.steps got.steps;
+  Alcotest.(check int) (msg ^ ": max_load") expected.max_load got.max_load;
+  Alcotest.(check int) (msg ^ ": violations") expected.violations got.violations;
+  Alcotest.(check (array int)) (msg ^ ": assignment") expected.assignment
+    got.assignment
+
+(* --- engine vs batch simulator -------------------------------------- *)
+
+let test_engine_matches_simulator () =
+  let n = 48 and ell = 4 and steps = 800 and seed = 11 in
+  let inst = Instance.blocks ~n ~ell in
+  let trace = gen_trace ~n ~steps ~seed:5 in
+  List.iter
+    (fun (spec : Registry.spec) ->
+      let batch_alg = spec.Registry.build ~epsilon:0.5 ~seed inst in
+      let batch =
+        Simulator.run inst batch_alg (Trace.fixed trace) ~steps
+      in
+      let engine = Engine.create ~alg:spec.Registry.name ~seed inst in
+      Array.iter (fun e -> ignore (Engine.ingest engine e)) trace;
+      let got = outcome_of engine in
+      check_outcome
+        (spec.Registry.name ^ " engine == simulator")
+        {
+          comm = batch.Simulator.cost.Cost.comm;
+          mig = batch.Simulator.cost.Cost.mig;
+          steps = batch.Simulator.steps;
+          max_load = batch.Simulator.max_load;
+          violations = batch.Simulator.capacity_violations;
+          assignment =
+            Rbgp_ring.Assignment.to_array
+              (batch_alg.Rbgp_ring.Online.assignment ());
+        }
+        got)
+    Registry.all
+
+let test_engine_decisions_cumulative () =
+  let n = 32 and ell = 4 in
+  let inst = Instance.blocks ~n ~ell in
+  let trace = gen_trace ~n ~steps:500 ~seed:3 in
+  let engine = Engine.create ~alg:"onl-static" ~seed:17 inst in
+  let cum_comm = ref 0 and cum_mig = ref 0 in
+  Array.iteri
+    (fun i e ->
+      let d = Engine.ingest engine e in
+      cum_comm := !cum_comm + d.Engine.comm;
+      cum_mig := !cum_mig + d.Engine.moved;
+      Alcotest.(check int) "step index" i d.Engine.step;
+      Alcotest.(check int) "cum comm" !cum_comm d.Engine.cum_comm;
+      Alcotest.(check int) "cum mig" !cum_mig d.Engine.cum_mig)
+    trace
+
+(* --- checkpoint / resume -------------------------------------------- *)
+
+(* the satellite requirement, verbatim: checkpoint at a step, resume, and
+   the final result equals the uninterrupted run — for every algorithm in
+   the registry and both accounting modes *)
+let test_checkpoint_resume_all_algorithms () =
+  let n = 48 and ell = 4 and steps = 600 and cut = 251 and seed = 23 in
+  let inst = Instance.blocks ~n ~ell in
+  let trace = gen_trace ~n ~steps ~seed:9 in
+  List.iter
+    (fun accounting ->
+      List.iter
+        (fun (spec : Registry.spec) ->
+          let name =
+            Printf.sprintf "%s/%s" spec.Registry.name
+              (match accounting with `Diff -> "diff" | _ -> "auto")
+          in
+          let uninterrupted =
+            let e = Engine.create ~accounting ~alg:spec.Registry.name ~seed inst in
+            Array.iter (fun q -> ignore (Engine.ingest e q)) trace;
+            outcome_of e
+          in
+          let first = Engine.create ~accounting ~alg:spec.Registry.name ~seed inst in
+          Array.iter
+            (fun q -> ignore (Engine.ingest first q))
+            (Array.sub trace 0 cut);
+          let ckpt = Engine.checkpoint first in
+          (* the snapshot must survive its on-disk representation *)
+          let ckpt = Ckpt.of_string (Ckpt.to_string ckpt) in
+          let resumed = Engine.resume ~accounting ckpt in
+          Alcotest.(check int) (name ^ ": resumed pos") cut (Engine.pos resumed);
+          Array.iter
+            (fun q -> ignore (Engine.ingest resumed q))
+            (Array.sub trace cut (steps - cut));
+          check_outcome (name ^ ": resume == uninterrupted") uninterrupted
+            (outcome_of resumed))
+        Registry.all)
+    [ `Auto; `Diff ]
+
+let test_checkpoint_explicit_state_presence () =
+  let inst = Instance.blocks ~n:32 ~ell:4 in
+  let has_state alg =
+    let e = Engine.create ~alg ~seed:1 inst in
+    ignore (Engine.ingest e 0);
+    Option.is_some (Engine.checkpoint e).Ckpt.alg_state
+  in
+  (* deterministic baselines serialize state explicitly; the randomized
+     core algorithms rely on prefix replay *)
+  List.iter
+    (fun alg ->
+      Alcotest.(check bool) (alg ^ " has explicit state") true (has_state alg))
+    [ "never-move"; "greedy-colocate"; "counter-threshold";
+      "component-learning" ];
+  List.iter
+    (fun alg ->
+      Alcotest.(check bool) (alg ^ " replays prefix") false (has_state alg))
+    [ "onl-dynamic"; "onl-static"; "dyn/wfa" ]
+
+let test_resume_detects_tampering () =
+  let inst = Instance.blocks ~n:32 ~ell:4 in
+  let trace = gen_trace ~n:32 ~steps:200 ~seed:2 in
+  let ckpt_for alg =
+    let e = Engine.create ~alg ~seed:4 inst in
+    Array.iter (fun q -> ignore (Engine.ingest e q)) trace;
+    Engine.checkpoint e
+  in
+  let expect_failure name tampered =
+    Alcotest.check_raises name (Failure "") (fun () ->
+        try ignore (Engine.resume tampered) with Failure _ -> raise (Failure ""))
+  in
+  (* explicit-restore path: the cost is carried by the checkpoint, so what
+     resume can (and does) verify is the restored assignment *)
+  let ckpt = ckpt_for "counter-threshold" in
+  let assignment = Array.copy ckpt.Ckpt.assignment in
+  assignment.(0) <- (assignment.(0) + 1) mod inst.Instance.ell;
+  expect_failure "explicit restore: tampered assignment rejected"
+    { ckpt with Ckpt.assignment };
+  (* prefix-replay path: replay recomputes everything, so a tampered cost
+     diverges from the replayed one *)
+  let ckpt = ckpt_for "onl-static" in
+  expect_failure "prefix replay: tampered comm rejected"
+    { ckpt with Ckpt.comm = ckpt.Ckpt.comm + 1 }
+
+let test_checkpoint_file_roundtrip () =
+  let inst = Instance.blocks ~n:32 ~ell:4 in
+  let e = Engine.create ~alg:"greedy-colocate" ~seed:5 inst in
+  Array.iter (fun q -> ignore (Engine.ingest e q)) (gen_trace ~n:32 ~steps:300 ~seed:6);
+  let ckpt = Engine.checkpoint e in
+  let path = Filename.temp_file "rbgp_ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ckpt.write ~path ckpt;
+      let back = Ckpt.read ~path in
+      Alcotest.(check string) "roundtrip" (Ckpt.to_string ckpt)
+        (Ckpt.to_string back);
+      (* a truncated file is a decode error, not a crash or a wrong value *)
+      let raw = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub raw 0 (String.length raw - 3)));
+      match Ckpt.read ~path with
+      | _ -> Alcotest.fail "truncated checkpoint accepted"
+      | exception Invalid_argument msg ->
+          Alcotest.(check bool) "error names the path" true
+            (Astring.String.is_infix ~affix:"rbgp_ckpt" msg))
+
+let qcheck_checkpoint_resume =
+  let gen =
+    QCheck2.Gen.(
+      let* alg_idx = int_bound (List.length Registry.all - 1) in
+      let* seed = int_bound 10_000 in
+      let* wseed = int_bound 10_000 in
+      let* steps = int_range 50 400 in
+      let* cut = int_range 1 (steps - 1) in
+      let* diff = bool in
+      return (alg_idx, seed, wseed, steps, cut, diff))
+  in
+  qtest ~count:60 "qcheck: checkpoint at random step resumes identically" gen
+    (fun (alg_idx, seed, wseed, steps, cut, diff) ->
+      let spec = List.nth Registry.all alg_idx in
+      let accounting = if diff then `Diff else `Auto in
+      let n = 48 and ell = 4 in
+      let inst = Instance.blocks ~n ~ell in
+      let trace = gen_trace ~n ~steps ~seed:wseed in
+      let uninterrupted =
+        let e = Engine.create ~accounting ~alg:spec.Registry.name ~seed inst in
+        Array.iter (fun q -> ignore (Engine.ingest e q)) trace;
+        outcome_of e
+      in
+      let first = Engine.create ~accounting ~alg:spec.Registry.name ~seed inst in
+      Array.iter (fun q -> ignore (Engine.ingest first q)) (Array.sub trace 0 cut);
+      let ckpt = Ckpt.of_string (Ckpt.to_string (Engine.checkpoint first)) in
+      let resumed = Engine.resume ~accounting ckpt in
+      Array.iter
+        (fun q -> ignore (Engine.ingest resumed q))
+        (Array.sub trace cut (steps - cut));
+      let got = outcome_of resumed in
+      got.comm = uninterrupted.comm
+      && got.mig = uninterrupted.mig
+      && got.steps = uninterrupted.steps
+      && got.max_load = uninterrupted.max_load
+      && got.violations = uninterrupted.violations
+      && got.assignment = uninterrupted.assignment)
+
+(* --- trace codecs --------------------------------------------------- *)
+
+let with_temp ext f =
+  let path = Filename.temp_file "rbgp_trace" ext in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let qcheck_binary_text_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 2 300 in
+      let* len = int_bound 500 in
+      let* trace = array_size (return len) (int_bound (n - 1)) in
+      let* ell = int_bound 16 in
+      let* seed = int_range (-100) 10_000 in
+      return (n, trace, ell, seed))
+  in
+  qtest ~count:80 "qcheck: binary <-> text trace round-trip" gen
+    (fun (n, trace, ell, seed) ->
+      with_temp ".rbt" (fun bin ->
+          with_temp ".txt" (fun txt ->
+              Trace_codec.write ~path:bin ~n ~ell ~seed trace;
+              let hdr = Trace_codec.read_header ~path:bin in
+              let from_bin = Trace_codec.read ~path:bin ~n in
+              Trace_io.save ~path:txt from_bin;
+              let from_txt = Trace_io.load ~path:txt ~n in
+              Trace_codec.looks_binary ~path:bin
+              && (not (Trace_codec.looks_binary ~path:txt))
+              && hdr.Trace_codec.n = n
+              && hdr.Trace_codec.ell = ell
+              && hdr.Trace_codec.seed = seed
+              && from_bin = trace && from_txt = trace)))
+
+let test_codec_streaming_fold () =
+  let n = 200 in
+  let trace = Array.init 1000 (fun i -> (i * 17) mod n) in
+  with_temp ".rbt" (fun path ->
+      Trace_codec.write ~path ~n ~ell:8 ~seed:42 trace;
+      let hdr, rev =
+        Trace_codec.fold ~path ~n ~init:[] ~f:(fun acc e -> e :: acc)
+      in
+      Alcotest.(check int) "header n" n hdr.Trace_codec.n;
+      Alcotest.(check (array int)) "fold == read" trace
+        (Array.of_list (List.rev rev)))
+
+let test_codec_detects_torn_frame () =
+  let n = 300 in
+  (* edge 200 needs a two-byte varint: chopping one byte tears the frame *)
+  with_temp ".rbt" (fun path ->
+      Trace_codec.write ~path ~n ~ell:0 ~seed:0 [| 1; 200 |];
+      let raw = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub raw 0 (String.length raw - 1)));
+      match Trace_codec.read ~path ~n with
+      | _ -> Alcotest.fail "torn frame accepted"
+      | exception Invalid_argument msg ->
+          Alcotest.(check bool) "error mentions torn frame" true
+            (Astring.String.is_infix ~affix:"torn" msg))
+
+let test_codec_rejects_wrong_n () =
+  with_temp ".rbt" (fun path ->
+      Trace_codec.write ~path ~n:64 ~ell:0 ~seed:0 [| 1; 2; 3 |];
+      match Trace_codec.read ~path ~n:128 with
+      | _ -> Alcotest.fail "mismatched n accepted"
+      | exception Invalid_argument _ -> ())
+
+let test_trace_io_fold_matches_load () =
+  let n = 50 in
+  let trace = Array.init 400 (fun i -> (i * 7) mod n) in
+  with_temp ".txt" (fun path ->
+      Trace_io.save ~path ~comment:"fold test" trace;
+      let folded =
+        Trace_io.fold ~path ~n ~init:[] ~f:(fun acc e -> e :: acc)
+      in
+      Alcotest.(check (array int)) "fold == load" (Trace_io.load ~path ~n)
+        (Array.of_list (List.rev folded));
+      Alcotest.(check (array int)) "load == original" trace
+        (Trace_io.load ~path ~n))
+
+let test_trace_io_error_names_path () =
+  with_temp ".txt" (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc "1\nbogus\n2\n");
+      match Trace_io.load ~path ~n:10 with
+      | _ -> Alcotest.fail "bogus line accepted"
+      | exception Invalid_argument msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "message %S names the file" msg)
+            true
+            (Astring.String.is_infix ~affix:path msg
+            && Astring.String.is_infix ~affix:"line 2" msg))
+
+(* --- sources -------------------------------------------------------- *)
+
+let test_source_binary_and_text_agree () =
+  let n = 96 in
+  let trace = gen_trace ~n ~steps:700 ~seed:13 in
+  let drain src =
+    let acc = ref [] in
+    let rec go () =
+      match Source.next src with
+      | Some e ->
+          acc := e :: !acc;
+          go ()
+      | None -> ()
+    in
+    go ();
+    Source.close src;
+    Array.of_list (List.rev !acc)
+  in
+  with_temp ".rbt" (fun bin ->
+      with_temp ".txt" (fun txt ->
+          Trace_codec.write ~path:bin ~n ~ell:8 ~seed:13 trace;
+          Trace_io.save ~path:txt trace;
+          let from_bin = drain (Source.open_file ~n bin) in
+          let from_txt = drain (Source.open_file ~n txt) in
+          Alcotest.(check (array int)) "binary source" trace from_bin;
+          Alcotest.(check (array int)) "text source" trace from_txt))
+
+(* --- metrics -------------------------------------------------------- *)
+
+let test_metrics_histogram () =
+  let m = Metrics.create () in
+  for _ = 1 to 90 do
+    Metrics.observe m ~latency_ns:1000 ~comm:1 ~moved:0 ~max_load:3
+  done;
+  for _ = 1 to 10 do
+    Metrics.observe m ~latency_ns:1_000_000 ~comm:0 ~moved:2 ~max_load:5
+  done;
+  Alcotest.(check int) "requests" 100 (Metrics.requests m);
+  Alcotest.(check int) "comm" 90 (Metrics.comm m);
+  Alcotest.(check int) "mig" 20 (Metrics.mig m);
+  Alcotest.(check int) "max load" 5 (Metrics.max_load m);
+  (* 1000ns lands in bucket [512, 1024), 1ms in [2^19, 2^20) *)
+  Alcotest.(check int) "p50" 512 (Metrics.quantile m 0.5);
+  Alcotest.(check int) "p99" 524288 (Metrics.quantile m 0.99);
+  Alcotest.(check bool) "rps positive" true (Metrics.rps m > 0.0);
+  Alcotest.(check bool) "json tagged" true
+    (Astring.String.is_prefix ~affix:"{\"type\":\"metrics\"" (Metrics.to_json m));
+  Metrics.reset m;
+  Alcotest.(check int) "reset" 0 (Metrics.requests m);
+  Alcotest.(check int) "reset quantile" 0 (Metrics.quantile m 0.99)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "matches batch simulator" `Quick
+            test_engine_matches_simulator;
+          Alcotest.test_case "decision records are cumulative" `Quick
+            test_engine_decisions_cumulative;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "resume == uninterrupted (all algs, both \
+                              accountings)" `Quick
+            test_checkpoint_resume_all_algorithms;
+          Alcotest.test_case "explicit state exactly for baselines" `Quick
+            test_checkpoint_explicit_state_presence;
+          Alcotest.test_case "tampered snapshots rejected" `Quick
+            test_resume_detects_tampering;
+          Alcotest.test_case "file roundtrip + truncation" `Quick
+            test_checkpoint_file_roundtrip;
+          qcheck_checkpoint_resume;
+        ] );
+      ( "codec",
+        [
+          qcheck_binary_text_roundtrip;
+          Alcotest.test_case "streaming fold" `Quick test_codec_streaming_fold;
+          Alcotest.test_case "torn frame detected" `Quick
+            test_codec_detects_torn_frame;
+          Alcotest.test_case "wrong n rejected" `Quick test_codec_rejects_wrong_n;
+          Alcotest.test_case "text fold matches load" `Quick
+            test_trace_io_fold_matches_load;
+          Alcotest.test_case "text errors name the path" `Quick
+            test_trace_io_error_names_path;
+        ] );
+      ( "source",
+        [
+          Alcotest.test_case "binary and text sources agree" `Quick
+            test_source_binary_and_text_agree;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "log-bucketed histogram" `Quick test_metrics_histogram ] );
+    ]
