@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json experiments examples clean
+.PHONY: all build test bench bench-json experiments examples lint clean
 
 all: build
 
@@ -26,6 +26,12 @@ bench-json: bench
 
 experiments:
 	dune exec bin/rbgp_cli.exe -- exp all | tee experiments_full.txt
+
+# static analysis over lib/ bin/ bench/; exits 1 on any finding that is
+# not justified in lint/allowlist.txt and writes the CI artifact
+lint:
+	dune exec bin/rbgp_lint_main.exe -- lib bin bench \
+	  --allowlist lint/allowlist.txt --json-out lint_report.json
 
 examples:
 	dune exec examples/quickstart.exe

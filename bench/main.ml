@@ -165,7 +165,7 @@ let run_benchmarks () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  let rows = List.sort compare rows in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
   let tbl = Rbgp_util.Tbl.create ~headers:[ "benchmark"; "time/run"; "r2" ] in
   let components =
     List.map

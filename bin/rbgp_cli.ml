@@ -540,12 +540,25 @@ let trace_cmd =
       const run $ workload $ n $ ell $ steps $ seed_arg $ convert_arg
       $ out_arg $ out_format_arg)
 
+(* --- lint: repo-specific static analysis ----------------------------- *)
+
+let lint_cmd =
+  let today =
+    let tm = Unix.localtime (Unix.time ()) in
+    (tm.Unix.tm_year + 1900, tm.Unix.tm_mon + 1, tm.Unix.tm_mday)
+  in
+  let exit_nonzero code = if code <> 0 then Stdlib.exit code in
+  Cmd.v
+    (Cmd.info "lint" ~doc:Rbgp_lint.Cli.doc)
+    Term.(const exit_nonzero $ Rbgp_lint.Cli.term ~today)
+
 let main =
   Cmd.group
     (Cmd.info "rbgp" ~version:"1.0.0"
        ~doc:
          "Online balanced graph partitioning for ring demands (SPAA 2023 \
           reproduction).")
-    [ exp_cmd; sim_cmd; serve_cmd; resume_cmd; checkpoint_cmd; trace_cmd ]
+    [ exp_cmd; sim_cmd; serve_cmd; resume_cmd; checkpoint_cmd; trace_cmd;
+      lint_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -23,6 +23,13 @@ let trace_array trace steps =
   | Trace.Fixed a -> Array.sub a 0 steps
   | Trace.Adaptive _ -> invalid_arg "trace_array: adaptive trace"
 
+(* total: the simulator always fills [per_step] when run with
+   [~record_steps:true], as every caller below does *)
+let per_step_series r =
+  match r.Rbgp_ring.Simulator.per_step with
+  | Some series -> series
+  | None -> invalid_arg "Report: run was not recorded with ~record_steps:true"
+
 (* split the flat result list of a fan-out back into rows of [width] cells *)
 let rec take width l =
   if width = 0 then ([], l)
@@ -967,7 +974,7 @@ let e13_time_series ?(quick = false) ?(seed = 53) () =
           Rbgp_ring.Simulator.run ~record_steps:true inst alg
             (Trace.fixed tarr) ~steps
         in
-        let series = Option.get r.Rbgp_ring.Simulator.per_step in
+        let series = per_step_series r in
         (spec.Runner.name, series))
       specs
   in
@@ -1040,7 +1047,7 @@ let e14_learning_variant ?(quick = false) ?(seed = 59) () =
               Rbgp_ring.Simulator.run ~record_steps:true inst (make ())
                 (Trace.fixed tarr) ~steps
             in
-            let series = Option.get r.Rbgp_ring.Simulator.per_step in
+            let series = per_step_series r in
             let total i = fst series.(i) + snd series.(i) in
             let half = total ((steps / 2) - 1) in
             Printf.sprintf "%d+%d" half (total (steps - 1) - half))

@@ -1,0 +1,168 @@
+(* The shared Cmdliner term behind both entry points: the standalone
+   rbgp-lint executable and the `rbgp lint` subcommand.  The term returns
+   the process exit code (0 clean, 1 findings, 2 configuration error);
+   callers decide how to exit.  "today" is an input so this library never
+   reads the clock (rule R2 patrols all of lib/, this directory included). *)
+
+open Cmdliner
+
+let default_allowlist = "lint/allowlist.txt"
+
+let dirs_arg =
+  Arg.(
+    value
+    & pos_all string [ "lib"; "bin"; "bench" ]
+    & info [] ~docv:"DIR"
+        ~doc:"Directories to scan for .ml/.mli files (default: lib bin bench).")
+
+let allowlist_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "allowlist" ] ~docv:"FILE"
+        ~doc:
+          (Printf.sprintf
+             "Allowlist file (default: $(b,%s) when it exists).  Every \
+              entry must carry a '#' justification comment."
+             default_allowlist))
+
+let no_allowlist_arg =
+  Arg.(
+    value & flag
+    & info [ "no-allowlist" ] ~doc:"Ignore the allowlist entirely.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Print the JSON report to stdout instead of text.")
+
+let json_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json-out" ] ~docv:"FILE"
+        ~doc:"Also write the JSON report to FILE (the CI artifact).")
+
+let baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:
+          "Fail only on findings beyond the per-(rule, file) counts \
+           recorded in FILE — a ratchet for adopting new rules.")
+
+let write_baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "write-baseline" ] ~docv:"FILE"
+        ~doc:"Record the current findings as a baseline and exit 0.")
+
+let rules_arg =
+  Arg.(value & flag & info [ "rules" ] ~doc:"List the rule set and exit.")
+
+let today_arg =
+  let date =
+    let parse s =
+      match Allowlist.parse_date s with
+      | Some d -> Ok d
+      | None -> Error (`Msg (Printf.sprintf "expected YYYY-MM-DD, got %S" s))
+    in
+    let print ppf (y, m, d) = Format.fprintf ppf "%04d-%02d-%02d" y m d in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt (some date) None
+    & info [ "today" ] ~docv:"YYYY-MM-DD"
+        ~doc:
+          "Override the date used for allowlist expiry (for reproducible \
+           runs; defaults to the system date).")
+
+let print_rules () =
+  List.iter
+    (fun (id, desc) -> Printf.printf "%-18s %s\n" id desc)
+    Rules.descriptions
+
+let ( let* ) r f = match r with Ok v -> f v | Error msg -> Error msg
+
+let load_allowlist ~no_allowlist ~allowlist_path =
+  if no_allowlist then Ok []
+  else
+    match allowlist_path with
+    | Some path -> Allowlist.load ~path
+    | None ->
+        if Sys.file_exists default_allowlist then
+          Allowlist.load ~path:default_allowlist
+        else Ok []
+
+let load_baseline = function
+  | None -> Ok None
+  | Some path -> (
+      match In_channel.with_open_bin path In_channel.input_all with
+      | source ->
+          let* json =
+            Result.map_error (fun m -> path ^ ": " ^ m) (Ljson.parse source)
+          in
+          let* b =
+            Result.map_error
+              (fun m -> path ^ ": " ^ m)
+              (Engine.baseline_of_json json)
+          in
+          Ok (Some b)
+      | exception Sys_error msg -> Error msg)
+
+let write_file path contents =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc contents;
+      Out_channel.output_char oc '\n')
+
+let lint ~today ~dirs ~allowlist ~baseline ~json ~json_out ~write_baseline =
+  match write_baseline with
+  | Some path ->
+      let outcome = Engine.run ~today ~allowlist ~dirs () in
+      write_file path
+        (Ljson.to_string (Engine.baseline_to_json outcome.Engine.live));
+      Printf.printf "wrote baseline of %d findings to %s\n"
+        (List.length outcome.Engine.live)
+        path;
+      0
+  | None ->
+      let outcome = Engine.run ~today ~allowlist ?baseline ~dirs () in
+      Option.iter
+        (fun path -> write_file path (Reporter.to_json_string outcome))
+        json_out;
+      if json then print_endline (Reporter.to_json_string outcome)
+      else print_string (Reporter.to_text outcome);
+      if Engine.errors outcome > 0 then 1 else 0
+
+let run ~today dirs allowlist_path no_allowlist json json_out baseline_path
+    write_baseline rules today_override =
+  if rules then begin
+    print_rules ();
+    0
+  end
+  else
+    let today = match today_override with Some d -> d | None -> today in
+    let config =
+      let* allowlist = load_allowlist ~no_allowlist ~allowlist_path in
+      let* baseline = load_baseline baseline_path in
+      Ok (allowlist, baseline)
+    in
+    match config with
+    | Error msg ->
+        prerr_endline ("rbgp-lint: " ^ msg);
+        2
+    | Ok (allowlist, baseline) ->
+        lint ~today ~dirs ~allowlist ~baseline ~json ~json_out ~write_baseline
+
+let term ~today =
+  Term.(
+    const (run ~today)
+    $ dirs_arg $ allowlist_arg $ no_allowlist_arg $ json_arg $ json_out_arg
+    $ baseline_arg $ write_baseline_arg $ rules_arg $ today_arg)
+
+let doc =
+  "Repo-specific static analysis: determinism, domain-safety and hot-path \
+   hygiene over lib/, bin/ and bench/"

@@ -1,0 +1,17 @@
+(** The shared Cmdliner term behind both entry points — the standalone
+    [rbgp-lint] executable and the [rbgp lint] subcommand.
+
+    The term evaluates to the process exit code: 0 clean, 1 live
+    error-severity findings, 2 configuration error (bad allowlist or
+    baseline).  [today] feeds allowlist expiry and is supplied by the
+    executable (this library never reads the clock — rule R2 patrols all
+    of lib/, this directory included); the [--today] flag overrides it. *)
+
+val default_allowlist : string
+(** ["lint/allowlist.txt"], used when it exists and no [--allowlist] was
+    given. *)
+
+val term : today:(int * int * int) -> int Cmdliner.Term.t
+
+val doc : string
+(** One-line command description shared by both entry points. *)

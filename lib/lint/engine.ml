@@ -1,0 +1,194 @@
+(* Drives the rule set over sources: parse with the compiler's own parser
+   (compiler-libs — no new dependency, no grammar drift), apply the rules,
+   then fold in the allowlist and an optional baseline.
+
+   Everything is deterministic: directory walks sort entries, findings
+   sort by location, and no wall clock is read here — expiry "today" is an
+   input, supplied by the executables (bin/ is outside the R2 scope). *)
+
+let lint_source ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  let parse_error (e : exn) =
+    let loc, msg =
+      match Location.error_of_exn e with
+      | Some (`Ok err) ->
+          let msg =
+            Format.asprintf "%a" Location.print_report err
+            |> String.split_on_char '\n'
+            |> List.map String.trim
+            |> List.filter (fun s -> not (String.equal s ""))
+            |> String.concat " "
+          in
+          (err.Location.main.Location.loc, msg)
+      | _ -> (Location.curr lexbuf, Printexc.to_string e)
+    in
+    [
+      Finding.of_location ~rule:"parse-error" ~severity:Finding.Error
+        ~file:path loc msg;
+    ]
+  in
+  let findings =
+    if Filename.check_suffix path ".mli" then
+      match Parse.interface lexbuf with
+      | signature -> Rules.check_signature ~path signature
+      | exception e -> parse_error e
+    else
+      match Parse.implementation lexbuf with
+      | structure -> Rules.check_structure ~path structure
+      | exception e -> parse_error e
+  in
+  List.sort Finding.compare findings
+
+(* --- file discovery --------------------------------------------------- *)
+
+let skip_dir name =
+  String.equal name "_build"
+  || String.equal name "_opam"
+  || (String.length name > 0 && Char.equal name.[0] '.')
+
+let scan_dirs dirs =
+  let acc = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then begin
+      let entries = Sys.readdir path in
+      Array.sort String.compare entries;
+      Array.iter
+        (fun name ->
+          if not (skip_dir name) then walk (Filename.concat path name))
+        entries
+    end
+    else if
+      Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+    then acc := path :: !acc
+  in
+  List.iter
+    (fun dir -> if Sys.file_exists dir then walk dir)
+    dirs;
+  List.sort String.compare (List.rev !acc)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let lint_paths paths =
+  let per_file =
+    List.concat_map (fun p -> lint_source ~path:p (read_file p)) paths
+  in
+  List.sort Finding.compare (Rules.missing_mli ~files:paths @ per_file)
+
+(* --- baseline ---------------------------------------------------------- *)
+
+(* A baseline is a (rule, file) -> count ratchet, not a line-pinned list:
+   robust to unrelated edits shifting line numbers, and monotone — new
+   findings in a (rule, file) cell beyond the recorded count fail. *)
+
+type baseline = (string * string, int) Hashtbl.t
+
+let counts findings =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Finding.t) ->
+      let key = (f.Finding.rule, f.Finding.file) in
+      Hashtbl.replace tbl key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    findings;
+  tbl
+
+let baseline_to_json findings =
+  let tbl = counts findings in
+  let cells =
+    Hashtbl.fold (fun (rule, file) count acc -> (rule, file, count) :: acc) tbl []
+    |> List.sort (fun (r1, f1, _) (r2, f2, _) ->
+           let c = String.compare f1 f2 in
+           if c <> 0 then c else String.compare r1 r2)
+  in
+  Ljson.Obj
+    [
+      ("schema", Ljson.Str "rbgp-lint-baseline/1");
+      ( "cells",
+        Ljson.Arr
+          (List.map
+             (fun (rule, file, count) ->
+               Ljson.Obj
+                 [
+                   ("rule", Ljson.Str rule);
+                   ("file", Ljson.Str file);
+                   ("count", Ljson.Num (float_of_int count));
+                 ])
+             cells) );
+    ]
+
+let baseline_of_json json : (baseline, string) result =
+  match Option.bind (Ljson.member "cells" json) Ljson.to_list with
+  | None -> Error "baseline: missing \"cells\" array"
+  | Some cells ->
+      let tbl = Hashtbl.create 64 in
+      let bad = ref None in
+      List.iter
+        (fun cell ->
+          match
+            ( Option.bind (Ljson.member "rule" cell) Ljson.to_str,
+              Option.bind (Ljson.member "file" cell) Ljson.to_str,
+              Option.bind (Ljson.member "count" cell) Ljson.to_int )
+          with
+          | Some rule, Some file, Some count ->
+              Hashtbl.replace tbl (rule, Finding.normalize_path file) count
+          | _ ->
+              if Option.is_none !bad then
+                bad := Some ("baseline: malformed cell " ^ Ljson.to_string cell))
+        cells;
+      (match !bad with Some msg -> Error msg | None -> Ok tbl)
+
+let apply_baseline (baseline : baseline) findings =
+  let budget = Hashtbl.copy baseline in
+  let skipped = ref 0 in
+  let live =
+    List.filter
+      (fun (f : Finding.t) ->
+        let key = (f.Finding.rule, f.Finding.file) in
+        match Hashtbl.find_opt budget key with
+        | Some n when n > 0 ->
+            Hashtbl.replace budget key (n - 1);
+            incr skipped;
+            false
+        | _ -> true)
+      findings
+  in
+  (live, !skipped)
+
+(* --- top-level run ----------------------------------------------------- *)
+
+type outcome = {
+  files : int;
+  live : Finding.t list;
+  suppressed : (Finding.t * Allowlist.entry) list;
+  expired : (Finding.t * Allowlist.entry) list;
+  stale : Allowlist.entry list;
+  baseline_skipped : int;
+}
+
+let errors outcome =
+  List.length
+    (List.filter
+       (fun (f : Finding.t) ->
+         match f.Finding.severity with
+         | Finding.Error -> true
+         | Finding.Warning -> false)
+       outcome.live)
+
+let run ?today ?(allowlist = []) ?baseline ~dirs () =
+  let paths = scan_dirs dirs in
+  let findings = lint_paths paths in
+  let applied = Allowlist.apply ?today allowlist findings in
+  let live, baseline_skipped =
+    match baseline with
+    | Some b -> apply_baseline b applied.Allowlist.live
+    | None -> (applied.Allowlist.live, 0)
+  in
+  {
+    files = List.length paths;
+    live;
+    suppressed = applied.Allowlist.suppressed;
+    expired = applied.Allowlist.expired;
+    stale = applied.Allowlist.stale;
+    baseline_skipped;
+  }

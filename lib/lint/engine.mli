@@ -1,0 +1,52 @@
+(** The linter driver: parse sources with the compiler's own parser
+    (compiler-libs), run the rules, fold in the allowlist and an optional
+    baseline.
+
+    Deterministic by construction: directory walks sort entries, findings
+    sort by location, and no wall clock is read in this library — the
+    expiry date is an input supplied by the executables. *)
+
+val lint_source : path:string -> string -> Finding.t list
+(** Parse one [.ml]/[.mli] (selected by the [path] suffix) from a string
+    and run every expression/structure rule.  Unparseable input yields a
+    single [parse-error] finding.  Sorted by location. *)
+
+val scan_dirs : string list -> string list
+(** All [.ml]/[.mli] files under the given directories, sorted; skips
+    [_build], [_opam] and dot-directories.  Missing directories are
+    ignored. *)
+
+val lint_paths : string list -> Finding.t list
+(** [lint_source] over each file plus the file-set rule (R6). *)
+
+type baseline
+(** A (rule, file) -> count ratchet: robust to line churn, monotone —
+    only findings beyond the recorded count fail. *)
+
+val baseline_to_json : Finding.t list -> Ljson.t
+(** Schema ["rbgp-lint-baseline/1"]. *)
+
+val baseline_of_json : Ljson.t -> (baseline, string) result
+
+val apply_baseline : baseline -> Finding.t list -> Finding.t list * int
+(** Remaining findings and the number suppressed by the ratchet. *)
+
+type outcome = {
+  files : int;
+  live : Finding.t list;  (** unsuppressed findings — these fail the run *)
+  suppressed : (Finding.t * Allowlist.entry) list;
+  expired : (Finding.t * Allowlist.entry) list;
+  stale : Allowlist.entry list;
+  baseline_skipped : int;
+}
+
+val errors : outcome -> int
+(** Count of error-severity live findings; nonzero means exit 1. *)
+
+val run :
+  ?today:(int * int * int) ->
+  ?allowlist:Allowlist.t ->
+  ?baseline:baseline ->
+  dirs:string list ->
+  unit ->
+  outcome

@@ -1,0 +1,322 @@
+(* The repo-specific rule set, implemented over the compiler's Parsetree.
+
+   Each rule protects an invariant no compiler checks:
+
+   R1  poly-compare     hot loops must stay monomorphic: generic compare /
+                        Hashtbl.hash anywhere, and first-class =, <, min,
+                        max (or structural-literal =) in the hot-path
+                        libraries lib/mts, lib/ring, lib/serve, lib/util.
+   R2  nondeterminism   checkpoint/resume identity and pool byte-identity
+                        require lib/ to be a pure function of its inputs:
+                        no wall-clock reads, no Random.self_init, no
+                        Domain.self-derived values.
+   R3  partial          List.hd / List.tl / Option.get / unsafe array ops
+                        turn empty-case bugs into runtime explosions far
+                        from the cause; match explicitly or justify.
+   R4  global-mutable   top-level mutable state (ref, Hashtbl.create,
+                        Array.make, Atomic.make, ... at module level) in
+                        lib/ is shared across Pool worker domains; every
+                        instance needs a written thread-safety note.
+   R5  catchall-exn     [try ... with _ ->] swallows Stack_overflow,
+                        assertion failures and algorithm bugs alike; bind
+                        the exception or match specific constructors.
+   R6  missing-mli      every lib/ module ships an interface, so the
+                        public surface is deliberate.
+
+   Rules are syntactic (no typing pass), which keeps the linter fast and
+   dependency-free; the cost is a small class of heuristic calls, all
+   routed through the allowlist with written justifications. *)
+
+type scope = { area : [ `Lib | `Bin | `Bench | `Other ]; sublib : string option }
+
+let hot_sublibs = [ "mts"; "ring"; "serve"; "util" ]
+
+let scope_of_path path =
+  let parts =
+    List.filter
+      (fun s -> not (String.equal s ""))
+      (String.split_on_char '/' (Finding.normalize_path path))
+  in
+  let rec find = function
+    | "lib" :: rest ->
+        let sublib = match rest with sub :: _ :: _ -> Some sub | _ -> None in
+        { area = `Lib; sublib }
+    | "bin" :: _ -> { area = `Bin; sublib = None }
+    | "bench" :: _ -> { area = `Bench; sublib = None }
+    | _ :: rest -> find rest
+    | [] -> { area = `Other; sublib = None }
+  in
+  find parts
+
+let is_hot scope =
+  match (scope.area, scope.sublib) with
+  | `Lib, Some sub -> List.mem sub hot_sublibs
+  | _ -> false
+
+let is_lib scope = match scope.area with `Lib -> true | _ -> false
+
+(* --- identifier classification --------------------------------------- *)
+
+(* Longident.flatten raises on functor applications; this total version
+   just yields the path segments (empty for Lapply, which never names a
+   value we patrol). *)
+let rec flatten acc = function
+  | Longident.Lident s -> s :: acc
+  | Longident.Ldot (l, s) -> flatten (s :: acc) l
+  | Longident.Lapply _ -> acc
+
+let ident_path lid =
+  match flatten [] lid with "Stdlib" :: rest -> rest | p -> p
+
+let poly_op = function
+  | "=" | "<>" | "<" | ">" | "<=" | ">=" | "min" | "max" -> true
+  | _ -> false
+
+let nondet_message = function
+  | [ "Random"; "self_init" ] ->
+      Some
+        "Random.self_init seeds from the environment; thread the seed \
+         explicitly (Rbgp_util.Rng) or resume identity breaks"
+  | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ] ->
+      Some
+        "wall-clock read in lib/; algorithm state must be a function of \
+         (seed, instance, requests) for checkpoint/resume to be exact"
+  | [ "Sys"; "time" ] ->
+      Some
+        "Sys.time (CPU clock) in lib/; timing belongs in bin/ or bench/, \
+         not in code the serving engine replays"
+  | [ "Domain"; "self" ] ->
+      Some
+        "Domain.self is schedule-dependent; deriving state or hashes from \
+         it breaks pool byte-identity"
+  | _ -> None
+
+let partial_message = function
+  | [ "List"; "hd" ] | [ "List"; "tl" ] ->
+      Some "partial on []; match the list shape explicitly"
+  | [ "Option"; "get" ] ->
+      Some "partial on None; match and fail with a named invariant"
+  | [ "Array"; "unsafe_get" ] | [ "Array"; "unsafe_set" ]
+  | [ "Bytes"; "unsafe_get" ] | [ "Bytes"; "unsafe_set" ]
+  | [ "String"; "unsafe_get" ] ->
+      Some "unchecked indexing; prove the bound and justify via allowlist"
+  | _ -> None
+
+(* --- expression rules (R1, R2, R3, R5) ------------------------------- *)
+
+(* Is this expression a structural literal — something whose polymorphic
+   comparison is certainly a deep caml_compare walk? *)
+let structural_literal (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_tuple _ | Parsetree.Pexp_array _ | Parsetree.Pexp_record _
+    ->
+      true
+  | Parsetree.Pexp_construct (_, Some _) -> true
+  | _ -> false
+
+let expression_findings ~path ~scope (str : Parsetree.structure) =
+  let acc = ref [] in
+  let add ~loc ~rule message =
+    acc :=
+      Finding.of_location ~rule ~severity:Finding.Error ~file:path loc message
+      :: !acc
+  in
+  let check_ident ~applied ~loc lid =
+    let p = ident_path lid in
+    (match p with
+    | [ "compare" ] | [ "Pervasives"; "compare" ] ->
+        add ~loc ~rule:"r1-poly-compare"
+          "polymorphic compare; use Int.compare / Float.compare / an \
+           explicit comparator"
+    | [ "Hashtbl"; "hash" ] ->
+        add ~loc ~rule:"r1-poly-compare"
+          "polymorphic Hashtbl.hash walks the whole value; hash an \
+           explicit canonical key instead"
+    | [ op ] when poly_op op && (not applied) && is_hot scope ->
+        add ~loc ~rule:"r1-poly-compare"
+          (Printf.sprintf
+             "first-class polymorphic (%s) in a hot-path library; pass \
+              Int.%s / Float.%s / an explicit comparator"
+             op
+             (match op with "min" | "max" -> op | _ -> "compare")
+             (match op with "min" | "max" -> op | _ -> "compare"))
+    | _ -> ());
+    (if is_lib scope then
+       match nondet_message p with
+       | Some msg -> add ~loc ~rule:"r2-nondeterminism" msg
+       | None -> ());
+    match partial_message p with
+    | Some msg -> add ~loc ~rule:"r3-partial" msg
+    | None -> ()
+  in
+  let expr (self : Ast_iterator.iterator) (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt; loc } -> check_ident ~applied:false ~loc txt
+    | Parsetree.Pexp_apply (fn, args) ->
+        (match fn.Parsetree.pexp_desc with
+        | Parsetree.Pexp_ident { txt; loc } ->
+            check_ident ~applied:true ~loc txt;
+            (match ident_path txt with
+            | [ ("=" | "<>") ]
+              when is_hot scope
+                   && List.exists (fun (_, a) -> structural_literal a) args ->
+                add ~loc ~rule:"r1-poly-compare"
+                  "structural (=) in a hot-path library; compare fields \
+                   with monomorphic equality"
+            | _ -> ())
+        | _ -> self.Ast_iterator.expr self fn);
+        List.iter (fun (_, a) -> self.Ast_iterator.expr self a) args
+    | Parsetree.Pexp_try (body, cases) ->
+        self.Ast_iterator.expr self body;
+        List.iter
+          (fun (c : Parsetree.case) ->
+            (match c.Parsetree.pc_lhs.Parsetree.ppat_desc with
+            | Parsetree.Ppat_any ->
+                add ~loc:c.Parsetree.pc_lhs.Parsetree.ppat_loc
+                  ~rule:"r5-catchall-exn"
+                  "catch-all exception handler swallows everything \
+                   (including Assert_failure and Stack_overflow); bind \
+                   the exception or match specific constructors"
+            | _ -> ());
+            Option.iter (self.Ast_iterator.expr self) c.Parsetree.pc_guard;
+            self.Ast_iterator.expr self c.Parsetree.pc_rhs)
+          cases
+    | _ -> Ast_iterator.default_iterator.Ast_iterator.expr self e
+  in
+  let case (self : Ast_iterator.iterator) (c : Parsetree.case) =
+    (match c.Parsetree.pc_lhs.Parsetree.ppat_desc with
+    | Parsetree.Ppat_exception { ppat_desc = Parsetree.Ppat_any; ppat_loc; _ }
+      ->
+        add ~loc:ppat_loc ~rule:"r5-catchall-exn"
+          "catch-all [exception _] match case swallows everything; bind \
+           the exception or match specific constructors"
+    | _ -> ());
+    Ast_iterator.default_iterator.Ast_iterator.case self c
+  in
+  let it = { Ast_iterator.default_iterator with expr; case } in
+  it.Ast_iterator.structure it str;
+  !acc
+
+(* --- R4: top-level mutable state ------------------------------------- *)
+
+let mutable_alloc_message = function
+  | [ "ref" ] -> Some "top-level ref"
+  | [ "Hashtbl"; "create" ] -> Some "top-level Hashtbl"
+  | [ "Array"; "make" ]
+  | [ "Array"; "init" ]
+  | [ "Array"; "make_matrix" ]
+  | [ "Array"; "create_float" ] ->
+      Some "top-level mutable array"
+  | [ "Bytes"; "create" ] | [ "Bytes"; "make" ] -> Some "top-level bytes"
+  | [ "Buffer"; "create" ] -> Some "top-level buffer"
+  | [ "Queue"; "create" ] -> Some "top-level queue"
+  | [ "Stack"; "create" ] -> Some "top-level stack"
+  | [ "Atomic"; "make" ] -> Some "top-level atomic"
+  | _ -> None
+
+(* Walk a top-level binding's expression, stopping at function boundaries:
+   state allocated per call is private to the caller, state allocated at
+   module initialization is shared by every domain the pool spawns. *)
+let toplevel_mutable_findings ~path (str : Parsetree.structure) =
+  let acc = ref [] in
+  let add ~loc what =
+    acc :=
+      Finding.of_location ~rule:"r4-global-mutable" ~severity:Finding.Error
+        ~file:path loc
+        (Printf.sprintf
+           "%s is shared across pool worker domains; confine it, guard it, \
+            and record the thread-safety argument in the lint allowlist"
+           what)
+      :: !acc
+  in
+  let expr (self : Ast_iterator.iterator) (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _ -> ()
+    | Parsetree.Pexp_apply
+        ({ pexp_desc = Parsetree.Pexp_ident { txt; loc }; _ }, args) ->
+        (match mutable_alloc_message (ident_path txt) with
+        | Some what -> add ~loc what
+        | None -> ());
+        List.iter (fun (_, a) -> self.Ast_iterator.expr self a) args
+    | _ -> Ast_iterator.default_iterator.Ast_iterator.expr self e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  let rec structure str = List.iter item str
+  and item (si : Parsetree.structure_item) =
+    match si.Parsetree.pstr_desc with
+    | Parsetree.Pstr_value (_, bindings) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            it.Ast_iterator.expr it vb.Parsetree.pvb_expr)
+          bindings
+    | Parsetree.Pstr_module mb -> module_expr mb.Parsetree.pmb_expr
+    | Parsetree.Pstr_recmodule mbs ->
+        List.iter (fun mb -> module_expr mb.Parsetree.pmb_expr) mbs
+    | Parsetree.Pstr_include incl ->
+        module_expr incl.Parsetree.pincl_mod
+    | _ -> ()
+  and module_expr (me : Parsetree.module_expr) =
+    match me.Parsetree.pmod_desc with
+    | Parsetree.Pmod_structure str -> structure str
+    | Parsetree.Pmod_functor (_, me)
+    | Parsetree.Pmod_constraint (me, _) ->
+        module_expr me
+    | _ -> ()
+  in
+  structure str;
+  !acc
+
+(* --- entry points ----------------------------------------------------- *)
+
+let check_structure ~path (str : Parsetree.structure) =
+  let scope = scope_of_path path in
+  let exprs = expression_findings ~path ~scope str in
+  let globals = if is_lib scope then toplevel_mutable_findings ~path str else [] in
+  exprs @ globals
+
+(* Interfaces carry no expressions, so only parse errors (reported by the
+   engine) apply today; kept as a hook for future signature rules. *)
+let check_signature ~path:_ (_sig : Parsetree.signature) = []
+
+let missing_mli ~files =
+  let set = Hashtbl.create (List.length files * 2) in
+  List.iter (fun f -> Hashtbl.replace set (Finding.normalize_path f) ()) files;
+  List.filter_map
+    (fun f ->
+      let f = Finding.normalize_path f in
+      if
+        Filename.check_suffix f ".ml"
+        && is_lib (scope_of_path f)
+        && not (Hashtbl.mem set (f ^ "i"))
+      then
+        Some
+          (Finding.make ~rule:"r6-missing-mli" ~severity:Finding.Error ~file:f
+             ~line:0 ~col:0
+             "library module without an interface; add a .mli so the \
+              public surface is deliberate")
+      else None)
+    files
+
+let descriptions =
+  [
+    ( "r1-poly-compare",
+      "no polymorphic comparison in hot paths: generic compare / \
+       Hashtbl.hash anywhere; first-class =, <, min, max and structural \
+       literals under (=) in lib/mts, lib/ring, lib/serve, lib/util" );
+    ( "r2-nondeterminism",
+      "no wall-clock, Random.self_init or Domain.self in lib/ — \
+       checkpoint/resume identity and pool byte-identity depend on lib/ \
+       being a pure function of (seed, instance, requests)" );
+    ( "r3-partial",
+      "no List.hd / List.tl / Option.get / unsafe indexing outside \
+       allowlisted, justified sites" );
+    ( "r4-global-mutable",
+      "top-level mutable state in lib/ (ref, Hashtbl.create, Array.make, \
+       Atomic.make, ...) is shared across pool domains and needs a \
+       written thread-safety note in the allowlist" );
+    ( "r5-catchall-exn",
+      "no catch-all try ... with _ -> handlers; bind the exception or \
+       match specific constructors" );
+    ("r6-missing-mli", "every lib/**/*.ml ships a corresponding .mli");
+    ("parse-error", "file must parse with the OCaml 5.1 grammar");
+  ]

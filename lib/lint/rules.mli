@@ -1,0 +1,42 @@
+(** The repo-specific rule set, implemented over the compiler's Parsetree.
+
+    Rules are purely syntactic (no typing pass): fast, dependency-free,
+    and deterministic.  Heuristic misses are routed through the allowlist
+    with written justifications — see DESIGN.md "Static analysis".
+
+    - [r1-poly-compare] — generic [compare]/[Hashtbl.hash] anywhere;
+      first-class [=]/[<]/[min]/[max] and structural literals under [(=)]
+      in the hot-path libraries (lib/mts, lib/ring, lib/serve, lib/util).
+    - [r2-nondeterminism] — [Random.self_init], [Unix.gettimeofday],
+      [Unix.time], [Sys.time], [Domain.self] anywhere in lib/.
+    - [r3-partial] — [List.hd], [List.tl], [Option.get], unsafe indexing.
+    - [r4-global-mutable] — module-level [ref]/[Hashtbl.create]/
+      [Array.make]/[Atomic.make]/... in lib/ (shared across pool domains).
+    - [r5-catchall-exn] — [try ... with _ ->] and [exception _ ->] cases.
+    - [r6-missing-mli] — lib/ modules without an interface file. *)
+
+type scope = { area : [ `Lib | `Bin | `Bench | `Other ]; sublib : string option }
+
+val scope_of_path : string -> scope
+(** Classifies a (possibly relative) path by its first [lib]/[bin]/[bench]
+    segment; [sublib] is the library directory under [lib]. *)
+
+val is_hot : scope -> bool
+(** True for the hot-path libraries patrolled by the strict R1 checks. *)
+
+val is_lib : scope -> bool
+
+val check_structure : path:string -> Parsetree.structure -> Finding.t list
+(** All expression-level rules (R1, R2, R3, R5) plus the top-level
+    mutable-state rule (R4) over one implementation file. *)
+
+val check_signature : path:string -> Parsetree.signature -> Finding.t list
+(** Interface files: no expression rules apply today; hook for future
+    signature rules. *)
+
+val missing_mli : files:string list -> Finding.t list
+(** R6 over a file set: one finding per [lib/**/*.ml] whose [.mli] is not
+    in the set.  Pure — testable on synthetic lists. *)
+
+val descriptions : (string * string) list
+(** [(rule id, one-line description)] for [--rules] and the reporters. *)

@@ -9,7 +9,7 @@ let windowed (inst : Instance.t) trace ~window =
   let prev = ref inst.Instance.initial in
   let t = ref 0 in
   while !t < steps do
-    let len = Stdlib.min window (steps - !t) in
+    let len = Int.min window (steps - !t) in
     let chunk = Array.sub trace !t len in
     let sol = Static_opt.segmented inst chunk in
     (* [segmented] prices migration against the instance's initial
@@ -49,9 +49,12 @@ let best (inst : Instance.t) trace ?windows () =
         if steps = 0 then [ 1 ] else grid 64 []
   in
   let scored =
-    List.map (fun w -> (w, windowed inst trace ~window:(Stdlib.max 1 w))) candidates
+    List.map (fun w -> (w, windowed inst trace ~window:(Int.max 1 w))) candidates
   in
-  List.fold_left
-    (fun (bw, bc) (w, c) ->
-      if Cost.total c < Cost.total bc then (w, c) else (bw, bc))
-    (List.hd scored) (List.tl scored)
+  match scored with
+  | [] -> invalid_arg "Dynamic_heuristic.best: no window candidates"
+  | first :: rest ->
+      List.fold_left
+        (fun (bw, bc) (w, c) ->
+          if Cost.total c < Cost.total bc then (w, c) else (bw, bc))
+        first rest

@@ -24,11 +24,27 @@ type t = {
    symmetry through migration costs), but the canonical key is what the
    enumeration interns to count classes, and it powers the shared-table
    cache hash. *)
+(* Lexicographic comparison of equal-length int arrays — exactly what the
+   polymorphic compare this replaces computed (lengths match by
+   construction: all candidates are length-n assignment vectors). *)
+let compare_int_array a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else begin
+    let c = ref 0 in
+    let i = ref 0 in
+    while !c = 0 && !i < la do
+      c := Int.compare a.(!i) b.(!i);
+      incr i
+    done;
+    !c
+  end
+
 let canonical a =
   let n = Array.length a in
   if n = 0 then [||]
   else begin
-    let colors = Array.fold_left Stdlib.max 0 a + 1 in
+    let colors = Array.fold_left Int.max 0 a + 1 in
     let best = ref None in
     let relabel = Array.make colors (-1) in
     let cand = Array.make n 0 in
@@ -44,7 +60,7 @@ let canonical a =
         cand.(p) <- relabel.(v)
       done;
       match !best with
-      | Some b when compare b cand <= 0 -> ()
+      | Some b when compare_int_array b cand <= 0 -> ()
       | _ -> best := Some (Array.copy cand)
     done;
     match !best with Some b -> b | None -> assert false
@@ -98,7 +114,7 @@ let enumerate_states (inst : Instance.t) ?(max_states = 3000) () =
   let initial_dist = Array.map (hamming inst.Instance.initial) states in
   (* intern canonical forms: states in one rotation/relabeling orbit share
      one hashtable entry and one class id *)
-  let classes : (int array, int) Hashtbl.t = Hashtbl.create (Stdlib.max 16 m) in
+  let classes : (int array, int) Hashtbl.t = Hashtbl.create (Int.max 16 m) in
   let class_of =
     Array.map
       (fun s ->
@@ -242,7 +258,9 @@ let run_dp_pruned t trace =
          one, so one forward pass suffices) *)
       let cand = Array.sub candidate 0 !ncand in
       Array.sort
-        (fun i j -> if cost.(i) <> cost.(j) then compare cost.(i) cost.(j) else compare i j)
+        (fun i j ->
+          if cost.(i) <> cost.(j) then Int.compare cost.(i) cost.(j)
+          else Int.compare i j)
         cand;
       let nf = ref 0 in
       Array.iter

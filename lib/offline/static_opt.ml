@@ -150,7 +150,7 @@ let crossing_lower_bound (inst : Instance.t) trace =
   let f = Array.make n unreachable in
   let w = Window_min.create ~k ~capacity:n in
   (* anchor = the first cut among edges 0..k-1; every valid cut set has one *)
-  for c0 = 0 to Stdlib.min (k - 1) (n - 1) do
+  for c0 = 0 to Int.min (k - 1) (n - 1) do
     let arr i = x.((c0 + i) mod n) in
     Window_min.reset w;
     f.(0) <- arr 0;
@@ -161,7 +161,7 @@ let crossing_lower_bound (inst : Instance.t) trace =
       if f.(i) < unreachable then Window_min.push w i f.(i)
     done;
     (* wrap gap from last cut back to the anchor must be <= k *)
-    for i = Stdlib.max 1 (n - k) to n - 1 do
+    for i = Int.max 1 (n - k) to n - 1 do
       if f.(i) < !best then best := f.(i)
     done;
     (* a single cut is impossible for n > k, so i >= 1 above is safe *)
@@ -179,7 +179,7 @@ let best_cut_set (inst : Instance.t) x =
   let g = Array.make_matrix ell n unreachable in
   let parent = Array.make_matrix ell n (-1) in
   let w = Window_min.create ~k ~capacity:n in
-  for c0 = 0 to Stdlib.min (k - 1) (n - 1) do
+  for c0 = 0 to Int.min (k - 1) (n - 1) do
     let arr i = x.((c0 + i) mod n) in
     for s = 0 to ell - 1 do
       Array.fill g.(s) 0 n unreachable;
@@ -205,7 +205,7 @@ let best_cut_set (inst : Instance.t) x =
     done;
     (* close the cycle: last cut i with n - i <= k; s+1 cuts = s+1 segments *)
     for s = 0 to ell - 1 do
-      for i = Stdlib.max 1 (n - k) to n - 1 do
+      for i = Int.max 1 (n - k) to n - 1 do
         if g.(s).(i) < !best then begin
           best := g.(s).(i);
           (* reconstruct relabeled cut positions *)
@@ -223,7 +223,7 @@ let best_cut_set (inst : Instance.t) x =
     done
   done;
   match !best_cuts with
-  | Some cuts -> (List.sort_uniq compare cuts, !best)
+  | Some cuts -> (List.sort_uniq Int.compare cuts, !best)
   | None -> failwith "Static_opt: no feasible segmented partition"
 
 let segmented_dp (inst : Instance.t) trace =

@@ -67,7 +67,10 @@ let set t p s =
 let load t s = t.loads.(s)
 let loads t = Array.copy t.loads
 
-let max_load t = Array.fold_left Stdlib.max 0 t.loads
+let max_load t =
+  let m = ref 0 in
+  Array.iter (fun l -> if l > !m then m := l) t.loads;
+  !m
 
 let check_capacity t ~augmentation =
   let bound = (augmentation *. float_of_int t.inst.Instance.k) +. 1e-9 in

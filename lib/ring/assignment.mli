@@ -16,7 +16,7 @@ type journal
     journal was last drained.  Once attached (see {!journal}), every
     effective {!set} appends the process id; redundant sets (same server)
     are not recorded.  A process that moved twice appears twice — consumers
-    that need exact Hamming semantics should compare against a snapshot per
+    that need exact Hamming semantics should diff against a snapshot per
     touched id (see {!Simulator}). *)
 
 val create : Instance.t -> t

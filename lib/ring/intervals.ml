@@ -29,7 +29,7 @@ let width t i =
   check_interval t i;
   t.widths.(i)
 
-let max_width t = Array.fold_left Stdlib.max 0 t.widths
+let max_width t = Array.fold_left Int.max 0 t.widths
 
 let base t i =
   check_interval t i;

@@ -25,12 +25,68 @@ type t = {
   metrics : Metrics.t;
   mutable prefix : int array;
   mutable pos : int;
+  sanitize : bool;
 }
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
-let make_engine ?(strict = true) ?(accounting = `Auto) ~epsilon ~alg ~seed
-    ?(cost = Cost.zero ()) ?max_load ?violations ?(steps_done = 0)
+let sanitize_default () =
+  match Sys.getenv_opt "RBGP_SANITIZE" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some _ | None -> false
+
+(* --- runtime sanitizer ------------------------------------------------ *)
+
+(* Per-request invariant checks, run after every [Simulator.step] when the
+   engine was created with [~sanitize:true] (or RBGP_SANITIZE=1).  Each
+   check is an invariant the rest of the system silently relies on; the
+   sanitizer turns a silent corruption into a [Failure] naming the request
+   index at which it first became observable. *)
+let check_step_invariants t ~step ~comm ~prev_comm ~prev_mig ~prev_max
+    (r : Simulator.result) =
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        failwith (Printf.sprintf "RBGP_SANITIZE: request %d: %s" step s))
+      fmt
+  in
+  let a = t.online.Online.assignment () in
+  let n = t.inst.Instance.n and ell = t.inst.Instance.ell in
+  if Assignment.n a <> n then
+    fail "assignment covers %d processes, instance has %d" (Assignment.n a) n;
+  (* partition validity: every process on a real server, cached loads in
+     sync with the map (their sum over all servers is then n by counting) *)
+  let counts = Array.make ell 0 in
+  for p = 0 to n - 1 do
+    let s = Assignment.server_of a p in
+    if s < 0 || s >= ell then
+      fail "process %d assigned to invalid server %d (ell = %d)" p s ell;
+    counts.(s) <- counts.(s) + 1
+  done;
+  let loads = Assignment.loads a in
+  for s = 0 to ell - 1 do
+    if counts.(s) <> loads.(s) then
+      fail "server %d: cached load %d, but %d processes actually assigned" s
+        loads.(s) counts.(s)
+  done;
+  (* augmented capacity bound claimed by the algorithm *)
+  let augmentation = t.online.Online.augmentation in
+  if not (Assignment.check_capacity a ~augmentation) then
+    fail "max load %d exceeds augmentation bound %.3f * k = %.3f"
+      (Assignment.max_load a) augmentation
+      (augmentation *. float_of_int t.inst.Instance.k);
+  (* accounting sanity: unit communication charges, monotone cumulatives *)
+  if comm <> 0 && comm <> 1 then fail "communication charge %d not in {0,1}" comm;
+  if r.Simulator.cost.Cost.comm < prev_comm then
+    fail "cumulative comm decreased: %d -> %d" prev_comm
+      r.Simulator.cost.Cost.comm;
+  if r.Simulator.cost.Cost.mig < prev_mig then
+    fail "cumulative mig decreased: %d -> %d" prev_mig r.Simulator.cost.Cost.mig;
+  if r.Simulator.max_load < prev_max then
+    fail "running max load decreased: %d -> %d" prev_max r.Simulator.max_load
+
+let make_engine ?(strict = true) ?(accounting = `Auto) ?sanitize ~epsilon ~alg
+    ~seed ?(cost = Cost.zero ()) ?max_load ?violations ?(steps_done = 0)
     ?(prefix = [||]) (inst : Instance.t) (online : Online.t) =
   let stepper =
     Simulator.stepper ~strict ~accounting ~cost ?max_load ?violations
@@ -39,6 +95,9 @@ let make_engine ?(strict = true) ?(accounting = `Auto) ~epsilon ~alg ~seed
   let cap = max 1024 (Array.length prefix) in
   let buf = Array.make cap 0 in
   Array.blit prefix 0 buf 0 (Array.length prefix);
+  let sanitize =
+    match sanitize with Some b -> b | None -> sanitize_default ()
+  in
   {
     inst;
     alg_name = alg;
@@ -49,12 +108,13 @@ let make_engine ?(strict = true) ?(accounting = `Auto) ~epsilon ~alg ~seed
     metrics = Metrics.create ();
     prefix = buf;
     pos = steps_done;
+    sanitize;
   }
 
-let create ?strict ?accounting ?(epsilon = 0.5) ~alg ~seed inst =
+let create ?strict ?accounting ?sanitize ?(epsilon = 0.5) ~alg ~seed inst =
   let spec = Registry.find alg in
   let online = spec.Registry.build ~epsilon ~seed inst in
-  make_engine ?strict ?accounting ~epsilon ~alg ~seed inst online
+  make_engine ?strict ?accounting ?sanitize ~epsilon ~alg ~seed inst online
 
 let push_prefix t e =
   if t.pos >= Array.length t.prefix then begin
@@ -66,10 +126,23 @@ let push_prefix t e =
 
 let ingest t e =
   let t0 = now_ns () in
+  let prev =
+    if t.sanitize then begin
+      (* capture scalars: the stepper's cost record is mutated in place *)
+      let p = Simulator.stepper_result t.stepper in
+      Some (p.Simulator.cost.Cost.comm, p.Simulator.cost.Cost.mig, p.Simulator.max_load)
+    end
+    else None
+  in
   let comm, moved = Simulator.step t.stepper e in
   push_prefix t e;
   t.pos <- t.pos + 1;
   let r = Simulator.stepper_result t.stepper in
+  (match prev with
+  | Some (prev_comm, prev_mig, prev_max) ->
+      check_step_invariants t ~step:(t.pos - 1) ~comm ~prev_comm ~prev_mig
+        ~prev_max r
+  | None -> ());
   let latency_ns = now_ns () - t0 in
   Metrics.observe t.metrics ~latency_ns ~comm ~moved
     ~max_load:r.Simulator.max_load;
@@ -129,13 +202,17 @@ let verify_against (ckpt : Checkpoint.t) t ~how =
   if r.Simulator.capacity_violations <> ckpt.Checkpoint.violations then
     mismatch "violations" r.Simulator.capacity_violations
       ckpt.Checkpoint.violations;
-  if not (assignment t = ckpt.Checkpoint.assignment) then
+  let same_assignment a b =
+    Array.length a = Array.length b && Array.for_all2 Int.equal a b
+  in
+  if not (same_assignment (assignment t) ckpt.Checkpoint.assignment) then
     failwith
       (Printf.sprintf
          "Engine.resume: assignment of %s diverged from checkpoint after %s"
          ckpt.Checkpoint.alg how)
 
-let resume ?(strict = true) ?(accounting = `Auto) (ckpt : Checkpoint.t) =
+let resume ?(strict = true) ?(accounting = `Auto) ?sanitize
+    (ckpt : Checkpoint.t) =
   let inst =
     Instance.make ~n:ckpt.Checkpoint.n ~ell:ckpt.Checkpoint.ell
       ~k:ckpt.Checkpoint.k ~initial:(Array.copy ckpt.Checkpoint.initial) ()
@@ -152,7 +229,7 @@ let resume ?(strict = true) ?(accounting = `Auto) (ckpt : Checkpoint.t) =
          moves are not billed, exactly like construction-time moves. *)
       restore state;
       let t =
-        make_engine ~strict ~accounting ~epsilon:ckpt.Checkpoint.epsilon
+        make_engine ~strict ~accounting ?sanitize ~epsilon:ckpt.Checkpoint.epsilon
           ~alg:ckpt.Checkpoint.alg ~seed:ckpt.Checkpoint.seed
           ~cost:
             {
@@ -171,7 +248,7 @@ let resume ?(strict = true) ?(accounting = `Auto) (ckpt : Checkpoint.t) =
          instance) and re-serve the stored prefix through the same
          accounting *)
       let t =
-        make_engine ~strict ~accounting ~epsilon:ckpt.Checkpoint.epsilon
+        make_engine ~strict ~accounting ?sanitize ~epsilon:ckpt.Checkpoint.epsilon
           ~alg:ckpt.Checkpoint.alg ~seed:ckpt.Checkpoint.seed inst online
       in
       Array.iter (fun e -> ignore (ingest t e)) ckpt.Checkpoint.prefix;

@@ -12,7 +12,20 @@
     [(alg, epsilon, seed, instance)] and the request sequence: serving the
     same requests always yields the same decisions, costs and assignments
     (latencies excepted).  This is what makes checkpoint/resume exact and
-    cheap to verify — see {!resume}. *)
+    cheap to verify — see {!resume}.
+
+    {2 Runtime sanitizer}
+
+    With [~sanitize:true] (or the environment variable [RBGP_SANITIZE] set
+    to [1]/[true]/[yes]/[on]), every {!ingest} additionally asserts the
+    engine's per-step invariants after the algorithm has served the
+    request: the assignment is a valid partition (every process on a server
+    in range, cached loads consistent with the map), the maximum load
+    respects the algorithm's claimed augmentation bound, communication
+    charges are unit-sized, and cumulative costs and the running max load
+    are monotone.  The first violated invariant raises [Failure] with the
+    offending request index.  Off by default — the checks are [O(n)] per
+    request. *)
 
 type decision = {
   step : int;  (** 0-based index of the request just served *)
@@ -30,6 +43,7 @@ type t
 val create :
   ?strict:bool ->
   ?accounting:Rbgp_ring.Simulator.accounting ->
+  ?sanitize:bool ->
   ?epsilon:float ->
   alg:string ->
   seed:int ->
@@ -37,7 +51,9 @@ val create :
   t
 (** Builds the named algorithm through {!Registry.find} (raising
     [Invalid_argument] for unknown names) and starts a fresh accounting
-    stepper.  [epsilon] defaults to [0.5]. *)
+    stepper.  [epsilon] defaults to [0.5]; [sanitize] defaults to the
+    [RBGP_SANITIZE] environment variable (see the sanitizer section
+    above). *)
 
 val ingest : t -> int -> decision
 (** Serve one request: charge communication, run the algorithm, charge
@@ -63,6 +79,7 @@ val checkpoint : t -> Checkpoint.t
 val resume :
   ?strict:bool ->
   ?accounting:Rbgp_ring.Simulator.accounting ->
+  ?sanitize:bool ->
   Checkpoint.t ->
   t
 (** Reconstruct an engine mid-stream.  Uses the explicit-restore fast path

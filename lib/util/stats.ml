@@ -30,13 +30,13 @@ let quantile xs q =
   check_nonempty "Stats.quantile" xs;
   if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of [0,1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
   else begin
     let pos = q *. float_of_int (n - 1) in
     let lo = int_of_float (floor pos) in
-    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let hi = Int.min (lo + 1) (n - 1) in
     let frac = pos -. float_of_int lo in
     (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
   end

@@ -1,0 +1,323 @@
+(* Tests for the repo-specific static-analysis pass (lib/lint).
+
+   Per rule R1..R6: one fixture the rule must flag and one it must not.
+   Then the allowlist contract (justification mandatory, suppression,
+   line scoping, expiry, staleness), the JSON reporter round-trip, and a
+   self-lint check asserting the repository itself is clean under the
+   checked-in allowlist. *)
+
+module Finding = Rbgp_lint.Finding
+module Rules = Rbgp_lint.Rules
+module Engine = Rbgp_lint.Engine
+module Allowlist = Rbgp_lint.Allowlist
+module Reporter = Rbgp_lint.Reporter
+module Ljson = Rbgp_lint.Ljson
+
+let rules_of ~path src =
+  List.map (fun f -> f.Finding.rule) (Engine.lint_source ~path src)
+
+let count rule ~path src =
+  List.length (List.filter (String.equal rule) (rules_of ~path src))
+
+let check_flags name rule ~path src =
+  Alcotest.(check bool) name true (count rule ~path src > 0)
+
+let check_clean name rule ~path src =
+  Alcotest.(check int) name 0 (count rule ~path src)
+
+(* --- R1: polymorphic comparison -------------------------------------- *)
+
+let test_r1 () =
+  check_flags "bare compare flagged everywhere" "r1-poly-compare"
+    ~path:"lib/offline/fake.ml" "let f a b = compare a b";
+  check_flags "Stdlib.compare flagged" "r1-poly-compare"
+    ~path:"lib/mts/fake.ml" "let f a b = Stdlib.compare a b";
+  check_flags "Hashtbl.hash flagged" "r1-poly-compare" ~path:"bin/fake.ml"
+    "let h x = Hashtbl.hash x";
+  check_flags "first-class min in hot lib flagged" "r1-poly-compare"
+    ~path:"lib/ring/fake.ml" "let m xs = Array.fold_left min 0 xs";
+  check_flags "first-class (=) in hot lib flagged" "r1-poly-compare"
+    ~path:"lib/serve/fake.ml" "let eq = ( = )";
+  check_flags "structural (=) in hot lib flagged" "r1-poly-compare"
+    ~path:"lib/util/fake.ml" "let f x = x = (1, 2)";
+  check_clean "Int.compare is clean" "r1-poly-compare" ~path:"lib/mts/fake.ml"
+    "let f a b = Int.compare a b";
+  check_clean "applied min is clean even in hot lib" "r1-poly-compare"
+    ~path:"lib/ring/fake.ml" "let m a b = min a b";
+  check_clean "first-class min outside hot libs is clean" "r1-poly-compare"
+    ~path:"lib/offline/fake.ml" "let m xs = Array.fold_left min 0 xs";
+  check_clean "structural (=) outside hot libs is clean" "r1-poly-compare"
+    ~path:"lib/harness/fake.ml" "let f x = x = (1, 2)"
+
+(* --- R2: nondeterminism ----------------------------------------------- *)
+
+let test_r2 () =
+  check_flags "gettimeofday in lib flagged" "r2-nondeterminism"
+    ~path:"lib/ring/fake.ml" "let t () = Unix.gettimeofday ()";
+  check_flags "Random.self_init in lib flagged" "r2-nondeterminism"
+    ~path:"lib/core/fake.ml" "let () = Random.self_init ()";
+  check_flags "Sys.time in lib flagged" "r2-nondeterminism"
+    ~path:"lib/util/fake.ml" "let t () = Sys.time ()";
+  check_flags "Domain.self in lib flagged" "r2-nondeterminism"
+    ~path:"lib/util/fake.ml" "let d () = Domain.self ()";
+  check_clean "clock in bin/ is fine" "r2-nondeterminism" ~path:"bin/fake.ml"
+    "let t () = Unix.gettimeofday ()";
+  check_clean "seeded Random in lib is fine" "r2-nondeterminism"
+    ~path:"lib/core/fake.ml" "let s = Random.State.make [| 42 |]"
+
+(* --- R3: partial functions -------------------------------------------- *)
+
+let test_r3 () =
+  check_flags "List.hd flagged" "r3-partial" ~path:"lib/offline/fake.ml"
+    "let f l = List.hd l";
+  check_flags "Option.get flagged" "r3-partial" ~path:"bin/fake.ml"
+    "let f o = Option.get o";
+  check_flags "Array.unsafe_get flagged" "r3-partial" ~path:"lib/mts/fake.ml"
+    "let f a = Array.unsafe_get a 0";
+  check_clean "total List functions are clean" "r3-partial"
+    ~path:"lib/offline/fake.ml" "let f l = List.length l + List.length l"
+
+(* --- R4: top-level mutable state -------------------------------------- *)
+
+let test_r4 () =
+  check_flags "top-level Hashtbl in lib flagged" "r4-global-mutable"
+    ~path:"lib/offline/fake.ml" "let cache = Hashtbl.create 16";
+  check_flags "top-level ref in lib flagged" "r4-global-mutable"
+    ~path:"lib/util/fake.ml" "let counter = ref 0";
+  check_flags "top-level alloc inside nested module flagged"
+    "r4-global-mutable" ~path:"lib/util/fake.ml"
+    "module M = struct let slots = Array.make 4 0 end";
+  check_clean "per-call alloc is clean" "r4-global-mutable"
+    ~path:"lib/util/fake.ml" "let f () = Hashtbl.create 16";
+  check_clean "top-level mutable in bin/ is fine" "r4-global-mutable"
+    ~path:"bin/fake.ml" "let cache = Hashtbl.create 16";
+  check_clean "Mutex.create is not a data cell" "r4-global-mutable"
+    ~path:"lib/util/fake.ml" "let m = Mutex.create ()"
+
+(* --- R5: catch-all exception handlers --------------------------------- *)
+
+let test_r5 () =
+  check_flags "try-with-underscore flagged" "r5-catchall-exn"
+    ~path:"lib/harness/fake.ml" "let f g = try g () with _ -> 0";
+  check_flags "exception _ match case flagged" "r5-catchall-exn"
+    ~path:"lib/harness/fake.ml"
+    "let f g = match g () with x -> x | exception _ -> 0";
+  check_clean "specific handler is clean" "r5-catchall-exn"
+    ~path:"lib/harness/fake.ml" "let f g = try g () with Not_found -> 0";
+  check_clean "bound exception is clean" "r5-catchall-exn"
+    ~path:"lib/harness/fake.ml"
+    "let f g = try g () with e -> raise e"
+
+(* --- R6: missing interfaces ------------------------------------------- *)
+
+let test_r6 () =
+  let findings =
+    Rules.missing_mli
+      ~files:
+        [
+          "lib/foo/a.ml";
+          "lib/foo/a.mli";
+          "lib/foo/b.ml";
+          "bin/c.ml";
+          "bench/d.ml";
+        ]
+  in
+  Alcotest.(check (list string))
+    "only the uncovered lib module is flagged" [ "lib/foo/b.ml" ]
+    (List.map (fun f -> f.Finding.file) findings);
+  Alcotest.(check (list string))
+    "no findings when every lib module has an interface" []
+    (List.map
+       (fun f -> f.Finding.file)
+       (Rules.missing_mli ~files:[ "lib/foo/a.ml"; "lib/foo/a.mli" ]))
+
+(* --- parse errors ------------------------------------------------------ *)
+
+let test_parse_error () =
+  check_flags "unparseable source yields parse-error" "parse-error"
+    ~path:"lib/mts/fake.ml" "let = ="
+
+(* --- allowlist ---------------------------------------------------------- *)
+
+let entry_exn src =
+  match Allowlist.parse src with
+  | Ok entries -> entries
+  | Error e -> Alcotest.failf "allowlist parse failed: %s" e
+
+let test_allowlist_parse () =
+  let entries =
+    entry_exn
+      "# shared cache, mutex-guarded\nr4-global-mutable lib/offline/fake.ml\n"
+  in
+  (match entries with
+  | [ e ] ->
+      Alcotest.(check string) "rule" "r4-global-mutable" e.Allowlist.rule;
+      Alcotest.(check string)
+        "justification" "shared cache, mutex-guarded" e.Allowlist.justification;
+      Alcotest.(check bool) "no line scope" true (e.Allowlist.line = None)
+  | l -> Alcotest.failf "expected one entry, got %d" (List.length l));
+  (* justification is mandatory *)
+  (match Allowlist.parse "r1-poly-compare lib/mts/fake.ml\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unjustified entry must be rejected");
+  (* a blank line resets the pending justification *)
+  match Allowlist.parse "# file header, not a justification\n\nr1-poly-compare lib/mts/fake.ml\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "blank line must reset the justification"
+
+let fake_findings () =
+  Engine.lint_source ~path:"lib/offline/fake.ml"
+    "let cache = Hashtbl.create 16\nlet f a b = compare a b\n"
+
+let test_allowlist_suppression () =
+  let findings = fake_findings () in
+  Alcotest.(check int) "fixture has two findings" 2 (List.length findings);
+  let al =
+    entry_exn "# documented shared cache\nr4-global-mutable lib/offline/fake.ml\n"
+  in
+  let a = Allowlist.apply al findings in
+  Alcotest.(check int) "one suppressed" 1 (List.length a.Allowlist.suppressed);
+  Alcotest.(check int) "one live" 1 (List.length a.Allowlist.live);
+  Alcotest.(check int) "none stale" 0 (List.length a.Allowlist.stale);
+  (match a.Allowlist.live with
+  | [ f ] -> Alcotest.(check string) "r1 stays live" "r1-poly-compare" f.Finding.rule
+  | _ -> Alcotest.fail "expected exactly one live finding");
+  (* line-scoped entry only suppresses its line *)
+  let al_line1 =
+    entry_exn "# documented shared cache\nr4-global-mutable lib/offline/fake.ml:1\n"
+  in
+  let a1 = Allowlist.apply al_line1 findings in
+  Alcotest.(check int) "line 1 entry suppresses" 1
+    (List.length a1.Allowlist.suppressed);
+  let al_line9 =
+    entry_exn "# documented shared cache\nr4-global-mutable lib/offline/fake.ml:9\n"
+  in
+  let a9 = Allowlist.apply al_line9 findings in
+  Alcotest.(check int) "wrong line suppresses nothing" 0
+    (List.length a9.Allowlist.suppressed);
+  Alcotest.(check int) "wrong-line entry is stale" 1
+    (List.length a9.Allowlist.stale)
+
+let test_allowlist_expiry () =
+  let findings = fake_findings () in
+  let al =
+    entry_exn
+      "# temporary, to be fixed\n\
+       r4-global-mutable lib/offline/fake.ml expires=2026-01-31\n"
+  in
+  (* before expiry: suppresses *)
+  let before = Allowlist.apply ~today:(2026, 1, 30) al findings in
+  Alcotest.(check int) "suppresses before expiry" 1
+    (List.length before.Allowlist.suppressed);
+  Alcotest.(check int) "nothing expired yet" 0
+    (List.length before.Allowlist.expired);
+  (* after expiry: the finding returns to live and the pairing is reported *)
+  let after = Allowlist.apply ~today:(2026, 2, 1) al findings in
+  Alcotest.(check int) "stops suppressing after expiry" 0
+    (List.length after.Allowlist.suppressed);
+  Alcotest.(check int) "expired pairing reported" 1
+    (List.length after.Allowlist.expired);
+  Alcotest.(check int) "both findings live again" 2
+    (List.length after.Allowlist.live);
+  (* no [today] (replay mode): expiry is not enforced *)
+  let replay = Allowlist.apply al findings in
+  Alcotest.(check int) "expiry ignored without today" 1
+    (List.length replay.Allowlist.suppressed)
+
+(* --- JSON reporter round-trip ------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let live =
+    List.sort Finding.compare
+      (Engine.lint_source ~path:"lib/mts/fake.ml"
+         "let f a b = compare a b\nlet h l = List.hd l\nlet t () = Sys.time ()\n")
+  in
+  Alcotest.(check bool) "fixture is non-trivial" true (List.length live >= 3);
+  let outcome =
+    {
+      Engine.files = 1;
+      live;
+      suppressed = [];
+      expired = [];
+      stale = [];
+      baseline_skipped = 0;
+    }
+  in
+  let json = Reporter.to_json_string outcome in
+  match Ljson.parse json with
+  | Error e -> Alcotest.failf "reporter emitted unparseable JSON: %s" e
+  | Ok j -> (
+      match Reporter.findings_of_json j with
+      | Error e -> Alcotest.failf "findings_of_json: %s" e
+      | Ok parsed ->
+          Alcotest.(check int)
+            "same number of findings" (List.length live) (List.length parsed);
+          List.iter2
+            (fun a b ->
+              Alcotest.(check bool)
+                (Printf.sprintf "finding %s round-trips" (Finding.to_text a))
+                true (Finding.equal a b))
+            live parsed)
+
+(* --- self-lint ---------------------------------------------------------- *)
+
+(* The repository's own sources must be clean under the checked-in
+   allowlist.  The test runs from the build sandbox (test/), so the tree
+   is reached via ".." — findings still match the allowlist because paths
+   are normalized and matched by suffix. *)
+let test_self_lint () =
+  (* dune runtest runs from the sandboxed test/ dir (tree at ".."); dune
+     exec runs from the workspace root (tree at ".") *)
+  let root =
+    if Sys.file_exists "../lint/allowlist.txt" then ".."
+    else if Sys.file_exists "lint/allowlist.txt" then "."
+    else Alcotest.fail "cannot locate the repository tree"
+  in
+  let under d = Filename.concat root d in
+  let allowlist =
+    match Allowlist.load ~path:(under "lint/allowlist.txt") with
+    | Ok al -> al
+    | Error e -> Alcotest.failf "checked-in allowlist failed to parse: %s" e
+  in
+  let outcome =
+    Engine.run ~allowlist
+      ~dirs:[ under "lib"; under "bin"; under "bench" ]
+      ()
+  in
+  Alcotest.(check bool) "scanned a real tree" true (outcome.Engine.files > 50);
+  (match outcome.Engine.live with
+  | [] -> ()
+  | l ->
+      Alcotest.failf "repository is not lint-clean:\n%s"
+        (String.concat "\n" (List.map Finding.to_text l)));
+  Alcotest.(check int) "no stale allowlist entries" 0
+    (List.length outcome.Engine.stale)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "r1 polymorphic compare" `Quick test_r1;
+          Alcotest.test_case "r2 nondeterminism" `Quick test_r2;
+          Alcotest.test_case "r3 partial functions" `Quick test_r3;
+          Alcotest.test_case "r4 top-level mutable state" `Quick test_r4;
+          Alcotest.test_case "r5 catch-all handlers" `Quick test_r5;
+          Alcotest.test_case "r6 missing interfaces" `Quick test_r6;
+          Alcotest.test_case "parse errors are findings" `Quick
+            test_parse_error;
+        ] );
+      ( "allowlist",
+        [
+          Alcotest.test_case "parse + mandatory justification" `Quick
+            test_allowlist_parse;
+          Alcotest.test_case "suppression and line scoping" `Quick
+            test_allowlist_suppression;
+          Alcotest.test_case "expiry" `Quick test_allowlist_expiry;
+        ] );
+      ( "reporter",
+        [ Alcotest.test_case "JSON round-trip" `Quick test_json_roundtrip ] );
+      ( "self",
+        [ Alcotest.test_case "repository is lint-clean" `Quick test_self_lint ]
+      );
+    ]

@@ -399,6 +399,52 @@ let test_metrics_histogram () =
   Alcotest.(check int) "reset" 0 (Metrics.requests m);
   Alcotest.(check int) "reset quantile" 0 (Metrics.quantile m 0.99)
 
+(* --- runtime sanitizer ------------------------------------------------- *)
+
+(* Positive: a sanitized run over a healthy algorithm is silent and bills
+   exactly what an unsanitized run bills. *)
+let test_sanitizer_clean_run () =
+  let inst = Instance.blocks ~n:32 ~ell:4 in
+  let trace = gen_trace ~n:32 ~steps:400 ~seed:9 in
+  let run sanitize =
+    let e = Engine.create ~sanitize ~alg:"onl-dynamic" ~seed:3 inst in
+    Array.iter (fun q -> ignore (Engine.ingest e q)) trace;
+    let r = Engine.result e in
+    (r.Simulator.cost.Cost.comm, r.Simulator.cost.Cost.mig, r.Simulator.max_load)
+  in
+  let plain = run false and checked = run true in
+  Alcotest.(check (triple int int int))
+    "sanitized run matches unsanitized" plain checked
+
+(* Negative: corrupting the live assignment between requests (overloading
+   one server past the claimed augmentation bound) must be caught by the
+   very next sanitized ingest, with the request index in the message.
+   [never-move] keeps its hands off the assignment, so the corruption
+   survives until the check; [strict:false] keeps the stepper itself from
+   raising first. *)
+let test_sanitizer_catches_corruption () =
+  let inst = Instance.blocks ~n:8 ~ell:2 in
+  let e =
+    Engine.create ~strict:false ~sanitize:true ~alg:"never-move" ~seed:1 inst
+  in
+  ignore (Engine.ingest e 0);
+  let a = (Engine.online e).Rbgp_ring.Online.assignment () in
+  for p = 0 to 7 do
+    Rbgp_ring.Assignment.set a p 0
+  done;
+  let raised =
+    try
+      ignore (Engine.ingest e 1);
+      None
+    with Failure msg -> Some msg
+  in
+  match raised with
+  | None -> Alcotest.fail "sanitizer did not flag an overloaded server"
+  | Some msg ->
+      Alcotest.(check bool)
+        "message names the sanitizer" true
+        (Astring.String.is_prefix ~affix:"RBGP_SANITIZE: request 1:" msg)
+
 let () =
   Alcotest.run "serve"
     [
@@ -441,4 +487,11 @@ let () =
         ] );
       ( "metrics",
         [ Alcotest.test_case "log-bucketed histogram" `Quick test_metrics_histogram ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "clean run is silent and cost-identical" `Quick
+            test_sanitizer_clean_run;
+          Alcotest.test_case "corrupted assignment caught with request index"
+            `Quick test_sanitizer_catches_corruption;
+        ] );
     ]
