@@ -18,11 +18,17 @@ bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 # the bench run also writes the machine-readable trajectory file
-# (BENCH_3.json: component ns/run + r^2, per-experiment wall clock,
-# parallel-vs-sequential speedup, serve-loop throughput + resume identity);
-# this target just validates it parses
+# (BENCH_4.json: component ns/run + r^2, per-experiment wall clock,
+# parallel-vs-sequential speedup, serve-loop throughput + resume identity,
+# and the domains sweep for the interval-sharded batched request path);
+# this target validates it parses and enforces the measurement-fidelity
+# floor: any component whose fit has r^2 < 0.5 fails the build
 bench-json: bench
-	@python3 -c "import json; json.load(open('BENCH_3.json')); print('BENCH_3.json: valid JSON')"
+	@python3 -c "import json, sys; \
+d = json.load(open('BENCH_4.json')); \
+bad = [c for c in d['components'] if c['r2'] is None or c['r2'] < 0.5]; \
+sys.exit('components below the r^2 floor: ' + ', '.join(c['name'] for c in bad)) if bad else \
+print('BENCH_4.json: valid JSON, all %d component fits have r^2 >= 0.5' % len(d['components']))"
 
 experiments:
 	dune exec bin/rbgp_cli.exe -- exp all | tee experiments_full.txt

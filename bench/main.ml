@@ -1,88 +1,158 @@
-(* The benchmark harness has two layers:
+(* The benchmark harness has three layers:
 
-   1. bechamel micro-benchmarks: one [Test.make] per component that the
+   1. component micro-benchmarks: one closure per component that the
       experiments exercise (smin gradients, couplings, MTS solver steps,
       offline DPs, slicing/clustering/scheduling steps, whole-algorithm
-      request handling).  These document the per-request cost of every
-      moving part and catch performance regressions.
+      request handling).  Measurement is a small in-repo harness (warmup,
+      linearly growing iteration counts, least-squares through the origin,
+      residual-based outlier trimming) — see [measure] below; the earlier
+      bechamel-based harness pinned slow functions to a near-constant
+      iteration count, which degenerated the regression and produced the
+      r^2 collapse recorded in BENCH_3.json.  A component whose fit still
+      comes out with r^2 < 0.5 fails the run (exit 1, after the JSON is
+      written).
 
    2. the experiment tables E1-E10 (the reproduction's stand-in for the
       paper's evaluation section), regenerated in quick mode so that a
       single `dune exec bench/main.exe` reproduces every reported table.
       Run `rbgp exp <id>` (without --quick) for the full-size versions.
 
-   Besides the human-readable tables the run writes BENCH_3.json next to
-   the current directory: the BENCH_2 sections (component ns/run + r^2,
+   3. the domains sweep for the interval-sharded request path: for each
+      serve config (large: parallel-worthy batches; quick: batches small
+      enough that the pool's auto-grain must keep them sequential) and
+      each domain count, per-request vs batched ingest throughput, the
+      speedup, and a byte-identity bit (decisions sans latency, final
+      result, final assignment).  CI gates on speedup > 1 at 4 domains
+      for the large config; on a single-core box the honest local number
+      hovers around 1.0 and only the identity bits are load-bearing.
+
+   Besides the human-readable tables the run writes BENCH_4.json next to
+   the current directory: the BENCH_3 sections (component ns/run + r^2,
    wall-clock seconds per quick-mode experiment, parallel-vs-sequential
    comparisons for E8 and E10 with cold/warm speedups and byte-identity
-   checks) plus a "serve" section measuring the streaming engine this
-   change set added — end-to-end ingest throughput (req/s) and p50/p99
-   ingest latency through [Rbgp_serve.Engine] for the journal
-   ([`Incremental]) and full-scan ([`Diff]) accounting paths, each with a
-   mid-stream checkpoint/resume identity bit (resume must reproduce the
-   uninterrupted run's costs and assignment exactly).  The numeric suffix
-   is the bench-trajectory slot for this change set; BENCH_1.json and
-   BENCH_2.json are earlier snapshots and later change sets append
-   BENCH_4.json, ... so the files form a machine-readable performance
-   history of the repository. *)
-
-open Bechamel
-open Toolkit
+   checks, streaming-engine throughput with checkpoint/resume identity)
+   plus the new "domains_sweep" section.  The numeric suffix is the
+   bench-trajectory slot for this change set; BENCH_1..3.json are earlier
+   snapshots and later change sets append BENCH_5.json, ... so the files
+   form a machine-readable performance history of the repository. *)
 
 let rng = Rbgp_util.Rng.create 20230717
+
+(* --- measurement harness ------------------------------------------- *)
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let time_iters f iters =
+  let t0 = now_ns () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  now_ns () -. t0
+
+(* least squares through the origin on (iterations, elapsed ns) points;
+   r^2 against the mean-of-y null model, so it is only meaningful when
+   the x values actually vary — which the sampling below guarantees *)
+let ols_origin pts =
+  let sxy = ref 0.0 and sxx = ref 0.0 and sy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sxy := !sxy +. (x *. y);
+      sxx := !sxx +. (x *. x);
+      sy := !sy +. y)
+    pts;
+  let slope = !sxy /. !sxx in
+  let ybar = !sy /. float_of_int (Array.length pts) in
+  let ss_tot = ref 0.0 and ss_res = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      let dt = y -. ybar and dr = y -. (slope *. x) in
+      ss_tot := !ss_tot +. (dt *. dt);
+      ss_res := !ss_res +. (dr *. dr))
+    pts;
+  let r2 = if !ss_tot <= 0.0 then 1.0 else 1.0 -. (!ss_res /. !ss_tot) in
+  (slope, r2)
+
+(* per-test budget: enough samples for a stable fit without dragging the
+   whole bench run past CI patience *)
+let sample_budget_ns = 0.4 *. 1e9
+
+let measure f =
+  for _ = 1 to 3 do
+    f ()
+  done;
+  (* calibrate the per-call cost on a short doubling run *)
+  let rec calibrate iters =
+    let dt = time_iters f iters in
+    if dt > 1e6 || iters >= 1 lsl 20 then dt /. float_of_int iters
+    else calibrate (iters * 4)
+  in
+  let per_call = Float.max 1.0 (calibrate 1) in
+  (* sample points at linearly growing iteration counts [step, 2*step, ...,
+     s*step]: distinct x values keep the through-origin regression
+     well-conditioned even for very slow functions (where s bottoms out at
+     5 and step at 1, i.e. x = 1..5) *)
+  let tri s = float_of_int (s * (s + 1) / 2) in
+  let s =
+    let rec shrink s =
+      if s <= 5 then 5
+      else if tri s *. per_call <= sample_budget_ns then s
+      else shrink (s - 1)
+    in
+    shrink 40
+  in
+  let step =
+    max 1 (int_of_float (sample_budget_ns /. (per_call *. tri s)))
+  in
+  let pts =
+    Array.init s (fun i ->
+        let iters = (i + 1) * step in
+        (float_of_int iters, time_iters f iters))
+  in
+  (* trim the fifth of the points that sit farthest (relative residual)
+     from a first fit — scheduler blips land in a handful of samples —
+     then refit on the survivors *)
+  let slope0, _ = ols_origin pts in
+  let scored =
+    Array.map
+      (fun (x, y) -> (Float.abs (y -. (slope0 *. x)) /. x, (x, y)))
+      pts
+  in
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) scored;
+  let keep = min (Array.length scored) (max 5 (s * 4 / 5)) in
+  let kept = Array.map snd (Array.sub scored 0 keep) in
+  ols_origin kept
 
 (* --- component fixtures -------------------------------------------- *)
 
 let k = 256
 let smin_x = Array.init k (fun i -> float_of_int ((i * 7919) mod 97))
 
-let bench_smin_grad =
-  Test.make ~name:"smin: grad_c k=256"
-    (Staged.stage (fun () -> Rbgp_util.Smin.grad_c ~c:(float_of_int k) smin_x))
+let dist_a =
+  Rbgp_util.Dist.of_weights (Array.init k (fun i -> float_of_int (1 + (i mod 7))))
 
-let dist_a = Rbgp_util.Dist.of_weights (Array.init k (fun i -> float_of_int (1 + (i mod 7))))
-let dist_b = Rbgp_util.Dist.of_weights (Array.init k (fun i -> float_of_int (1 + ((i + 3) mod 11))))
-
-let bench_coupling =
-  Test.make ~name:"dist: coupled resample k=256"
-    (Staged.stage (fun () ->
-         Rbgp_util.Dist.resample_coupled rng ~current:17 ~old_dist:dist_a
-           ~new_dist:dist_b))
+let dist_b =
+  Rbgp_util.Dist.of_weights
+    (Array.init k (fun i -> float_of_int (1 + ((i + 3) mod 11))))
 
 let metric = Rbgp_mts.Metric.Line k
-
 let wfa_solver = Rbgp_mts.Work_function.solver metric ~start:(k / 2) ~rng
-let smin_solver = Rbgp_mts.Smin_mw.solver metric ~start:(k / 2) ~rng:(Rbgp_util.Rng.split rng)
-let hst_solver = Rbgp_mts.Hst_mts.solver metric ~start:(k / 2) ~rng:(Rbgp_util.Rng.split rng)
 
-let mts_bench name solver =
+let smin_solver =
+  Rbgp_mts.Smin_mw.solver metric ~start:(k / 2) ~rng:(Rbgp_util.Rng.split rng)
+
+let hst_solver =
+  Rbgp_mts.Hst_mts.solver metric ~start:(k / 2) ~rng:(Rbgp_util.Rng.split rng)
+
+let mts_step solver =
   let i = ref 0 in
-  Test.make ~name
-    (Staged.stage (fun () ->
-         incr i;
-         Rbgp_mts.Mts.serve solver (Rbgp_mts.Mts.indicator (!i * 31 mod k) ~n:k)))
-
-let bench_wfa = mts_bench "mts: wfa step k=256" wfa_solver
-let bench_smin_mts = mts_bench "mts: smin-mw step k=256" smin_solver
-let bench_hst = mts_bench "mts: hst-mw step k=256" hst_solver
+  fun () ->
+    incr i;
+    ignore
+      (Rbgp_mts.Mts.serve solver (Rbgp_mts.Mts.indicator (!i * 31 mod k) ~n:k))
 
 let offline_reqs = Array.init 512 (fun i -> (i * 131) mod k)
-
-let bench_offline_mts =
-  Test.make ~name:"mts: offline DP 512 reqs k=256"
-    (Staged.stage (fun () ->
-         Rbgp_mts.Offline.opt_cost_indicators_free metric offline_reqs))
-
 let inst = Rbgp_ring.Instance.blocks ~n:512 ~ell:8
 let trace512 = Array.init 4096 (fun i -> (i * 73) mod 512)
-
-let bench_static_opt =
-  Test.make ~name:"offline: segmented static OPT n=512"
-    (Staged.stage (fun () -> Rbgp_offline.Static_opt.segmented inst trace512))
-
-let bench_dynamic_lb =
-  Test.make ~name:"offline: dynamic LB n=512 T=4096"
-    (Staged.stage (fun () -> Rbgp_offline.Lower_bound.dynamic_lb inst trace512 ()))
 
 (* the E10 comparator shape: exact dynamic OPT on the largest instance the
    experiment uses, pruned vs the retained exhaustive reference *)
@@ -90,107 +160,85 @@ let dopt_inst = Rbgp_ring.Instance.blocks ~n:9 ~ell:3
 let dopt_table = Rbgp_offline.Dynamic_opt.shared dopt_inst ()
 let dopt_trace = Array.init 50 (fun i -> (i * 5) mod 9)
 
-let bench_dopt_pruned =
-  Test.make ~name:"offline: exact dyn OPT pruned n=9 ell=3 T=50"
-    (Staged.stage (fun () -> Rbgp_offline.Dynamic_opt.solve dopt_table dopt_trace))
-
-let bench_dopt_reference =
-  Test.make ~name:"offline: exact dyn OPT reference n=9 ell=3 T=50"
-    (Staged.stage (fun () ->
-         Rbgp_offline.Dynamic_opt.solve ~reference:true dopt_table dopt_trace))
-
-let bench_interval_opt =
-  Test.make ~name:"offline: interval OPT_R n=512 T=4096"
-    (Staged.stage (fun () ->
-         Rbgp_offline.Lower_bound.interval_opt inst trace512 ~shift:0
-           ~epsilon:0.5))
-
 let dyn_alg =
   Rbgp_core.Dynamic_alg.create ~epsilon:0.5 inst (Rbgp_util.Rng.split rng)
 
 let dyn_online = Rbgp_core.Dynamic_alg.online dyn_alg
 
-let bench_dyn_serve =
-  let i = ref 0 in
-  Test.make ~name:"core: onl-dynamic serve n=512"
-    (Staged.stage (fun () ->
-         incr i;
-         dyn_online.Rbgp_ring.Online.serve (!i * 37 mod 512)))
+let st_alg =
+  Rbgp_core.Static_alg.create ~epsilon:0.5 inst (Rbgp_util.Rng.split rng)
 
-let st_alg = Rbgp_core.Static_alg.create ~epsilon:0.5 inst (Rbgp_util.Rng.split rng)
 let st_online = Rbgp_core.Static_alg.online st_alg
-
-let bench_static_serve =
-  let i = ref 0 in
-  Test.make ~name:"core: onl-static serve n=512"
-    (Staged.stage (fun () ->
-         incr i;
-         st_online.Rbgp_ring.Online.serve (!i * 37 mod 512)))
-
 let ig = Rbgp_hitting.Interval_growing.create ~k (Rbgp_util.Rng.split rng)
 
-let bench_interval_growing =
+let online_step (online : Rbgp_ring.Online.t) =
   let i = ref 0 in
-  Test.make ~name:"hitting: interval-growing serve k=256"
-    (Staged.stage (fun () ->
-         incr i;
-         Rbgp_hitting.Interval_growing.serve ig (!i * 97 mod k)))
+  fun () ->
+    incr i;
+    online.Rbgp_ring.Online.serve (!i * 37 mod 512)
 
-let tests =
-  Test.make_grouped ~name:"rbgp"
-    [
-      bench_smin_grad;
-      bench_coupling;
-      bench_wfa;
-      bench_smin_mts;
-      bench_hst;
-      bench_offline_mts;
-      bench_static_opt;
-      bench_dynamic_lb;
-      bench_dopt_pruned;
-      bench_dopt_reference;
-      bench_interval_opt;
-      bench_dyn_serve;
-      bench_static_serve;
-      bench_interval_growing;
-    ]
+let components_spec : (string * (unit -> unit)) list =
+  [
+    ( "smin: grad_c k=256",
+      fun () ->
+        ignore (Rbgp_util.Smin.grad_c ~c:(float_of_int k) smin_x) );
+    ( "dist: coupled resample k=256",
+      fun () ->
+        ignore
+          (Rbgp_util.Dist.resample_coupled rng ~current:17 ~old_dist:dist_a
+             ~new_dist:dist_b) );
+    ("mts: wfa step k=256", mts_step wfa_solver);
+    ("mts: smin-mw step k=256", mts_step smin_solver);
+    ("mts: hst-mw step k=256", mts_step hst_solver);
+    ( "mts: offline DP 512 reqs k=256",
+      fun () ->
+        ignore (Rbgp_mts.Offline.opt_cost_indicators_free metric offline_reqs)
+    );
+    ( "offline: segmented static OPT n=512",
+      fun () -> ignore (Rbgp_offline.Static_opt.segmented inst trace512) );
+    ( "offline: dynamic LB n=512 T=4096",
+      fun () -> ignore (Rbgp_offline.Lower_bound.dynamic_lb inst trace512 ())
+    );
+    ( "offline: exact dyn OPT pruned n=9 ell=3 T=50",
+      fun () -> ignore (Rbgp_offline.Dynamic_opt.solve dopt_table dopt_trace)
+    );
+    ( "offline: exact dyn OPT reference n=9 ell=3 T=50",
+      fun () ->
+        ignore
+          (Rbgp_offline.Dynamic_opt.solve ~reference:true dopt_table dopt_trace)
+    );
+    ( "offline: interval OPT_R n=512 T=4096",
+      fun () ->
+        ignore
+          (Rbgp_offline.Lower_bound.interval_opt inst trace512 ~shift:0
+             ~epsilon:0.5) );
+    ("core: onl-dynamic serve n=512", online_step dyn_online);
+    ("core: onl-static serve n=512", online_step st_online);
+    ( "hitting: interval-growing serve k=256",
+      let i = ref 0 in
+      fun () ->
+        incr i;
+        ignore (Rbgp_hitting.Interval_growing.serve ig (!i * 97 mod k)) );
+  ]
 
 let run_benchmarks () =
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
-  in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-  in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
   let tbl = Rbgp_util.Tbl.create ~headers:[ "benchmark"; "time/run"; "r2" ] in
   let components =
     List.map
-      (fun (name, ols) ->
-        let est =
-          match Analyze.OLS.estimates ols with
-          | Some (e :: _) -> e
-          | _ -> Float.nan
-        in
-        let r2 = Analyze.OLS.r_square ols in
+      (fun (name, f) ->
+        let est, r2 = measure f in
         let human t =
           if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
           else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
           else Printf.sprintf "%.0f ns" t
         in
         Rbgp_util.Tbl.add_row tbl
-          [
-            name;
-            human est;
-            (match r2 with Some r -> Printf.sprintf "%.3f" r | None -> "-");
-          ];
+          [ name; human est; Printf.sprintf "%.3f" r2 ];
         (name, est, r2))
-      rows
+      components_spec
   in
-  print_endline "component micro-benchmarks (bechamel, OLS estimates):";
+  print_endline
+    "component micro-benchmarks (growing-iteration OLS through origin):";
   Rbgp_util.Tbl.print tbl;
   components
 
@@ -210,7 +258,6 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-(* JSON numbers must be finite; bechamel occasionally reports nan r^2 *)
 let json_num v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
 
 (* redirect stdout to [path] while [f] runs (the experiment tables print
@@ -367,16 +414,166 @@ let serve_bench () =
   in
   [ one `Incremental "journal"; one `Diff "diff" ]
 
-let write_bench_json ~components ~experiments ~parallel ~serve =
-  let oc = open_out "BENCH_3.json" in
+(* --- domains sweep: interval-sharded batched ingest ------------------ *)
+
+type sweep_config = {
+  cfg_name : string;
+  cfg_n : int;
+  cfg_ell : int;
+  cfg_steps : int;
+  cfg_batch : int;
+  (* small enough that the pool's measured auto-grain must refuse to
+     dispatch: the sweep records the observed path for these configs *)
+  cfg_expect_sequential : bool;
+}
+
+type sweep_point = {
+  sp_config : string;
+  sp_n : int;
+  sp_ell : int;
+  sp_requests : int;
+  sp_batch : int;
+  sp_domains : int;
+  sp_seq_rps : float;
+  sp_batched_rps : float;
+  sp_speedup : float;
+  sp_identical : bool;
+  sp_sequential_path : bool option;
+}
+
+(* everything a decision carries except the wall-clock latency — the
+   fields the byte-identity contract covers *)
+let decision_sig (d : Rbgp_serve.Engine.decision) =
+  Printf.sprintf "%d|%d|%d|%d|%d|%d|%d\n" d.Rbgp_serve.Engine.step
+    d.Rbgp_serve.Engine.edge d.Rbgp_serve.Engine.comm
+    d.Rbgp_serve.Engine.moved d.Rbgp_serve.Engine.cum_comm
+    d.Rbgp_serve.Engine.cum_mig d.Rbgp_serve.Engine.max_load
+
+let decisions_sig ds =
+  let buf = Buffer.create (Array.length ds * 16) in
+  Array.iter (fun d -> Buffer.add_string buf (decision_sig d)) ds;
+  Buffer.contents buf
+
+(* Per-request vs batched ingest for one config across domain counts.
+   The per-request baseline is measured once per config — that path never
+   dispatches to the pool, so its throughput is domain-independent — and
+   every batched run must reproduce its decision stream (sans latency),
+   final result and final assignment exactly, at every domain count and
+   batch decomposition.  Cost estimates are reset before each point so
+   the auto-grain heuristic relearns from scratch (what a fresh process
+   would see). *)
+let domains_sweep () =
+  let cores = Domain.recommended_domain_count () in
+  let sweep_domains =
+    List.sort_uniq Int.compare [ 1; 2; 4; min cores 8 ]
+  in
+  let configs =
+    [
+      {
+        cfg_name = "serve-large";
+        cfg_n = 4096;
+        cfg_ell = 32;
+        cfg_steps = 120_000;
+        cfg_batch = 1024;
+        cfg_expect_sequential = false;
+      };
+      {
+        cfg_name = "serve-quick";
+        cfg_n = 256;
+        cfg_ell = 8;
+        cfg_steps = 30_000;
+        cfg_batch = 64;
+        cfg_expect_sequential = true;
+      };
+    ]
+  in
+  let sweep_config c =
+    let inst = Rbgp_ring.Instance.blocks ~n:c.cfg_n ~ell:c.cfg_ell in
+    let trace =
+      match
+        Rbgp_workloads.Workloads.rotating ~n:c.cfg_n ~steps:c.cfg_steps
+          (Rbgp_util.Rng.create 7)
+      with
+      | Rbgp_ring.Trace.Fixed a -> a
+      | Rbgp_ring.Trace.Adaptive _ -> assert false
+    in
+    let seq_eng = Rbgp_serve.Engine.create ~alg:"onl-dynamic" ~seed:42 inst in
+    let seq_ds, seq_dt =
+      timed (fun () ->
+          Array.map (fun e -> Rbgp_serve.Engine.ingest seq_eng e) trace)
+    in
+    let seq_sig = decisions_sig seq_ds in
+    let seq_res = Rbgp_serve.Engine.result seq_eng in
+    let seq_asn = Rbgp_serve.Engine.assignment seq_eng in
+    let seq_rps = float_of_int c.cfg_steps /. seq_dt in
+    List.map
+      (fun d ->
+        Rbgp_util.Pool.reset_estimates ();
+        Rbgp_util.Pool.set_domains (Some d);
+        Rbgp_util.Pool.warmup ~domains:d ();
+        let eng = Rbgp_serve.Engine.create ~alg:"onl-dynamic" ~seed:42 inst in
+        let nbatches = (c.cfg_steps + c.cfg_batch - 1) / c.cfg_batch in
+        let out = Array.make nbatches [||] in
+        let (), dt =
+          timed (fun () ->
+              for b = 0 to nbatches - 1 do
+                let off = b * c.cfg_batch in
+                let len = min c.cfg_batch (c.cfg_steps - off) in
+                out.(b) <-
+                  Rbgp_serve.Engine.ingest_batch eng (Array.sub trace off len)
+              done)
+        in
+        let went_parallel = Rbgp_util.Pool.last_map_parallel () in
+        Rbgp_util.Pool.set_domains None;
+        let ds = Array.concat (Array.to_list out) in
+        let res = Rbgp_serve.Engine.result eng in
+        let identical =
+          String.equal (decisions_sig ds) seq_sig
+          && res.Rbgp_ring.Simulator.cost = seq_res.Rbgp_ring.Simulator.cost
+          && res.Rbgp_ring.Simulator.max_load
+             = seq_res.Rbgp_ring.Simulator.max_load
+          && Rbgp_serve.Engine.assignment eng = seq_asn
+        in
+        let batched_rps = float_of_int c.cfg_steps /. dt in
+        let sequential_path =
+          if c.cfg_expect_sequential then Some (not went_parallel) else None
+        in
+        Printf.printf
+          "domains sweep (%s, n=%d ell=%d batch=%d, %d reqs): d=%d \
+           per-request %.0f req/s, batched %.0f req/s (%.2fx), %s%s\n"
+          c.cfg_name c.cfg_n c.cfg_ell c.cfg_batch c.cfg_steps d seq_rps
+          batched_rps (batched_rps /. seq_rps)
+          (if identical then "identical" else "DIVERGED")
+          (match sequential_path with
+          | Some true -> ", auto-grain kept it sequential"
+          | Some false -> ", auto-grain WENT PARALLEL on a small config"
+          | None -> "");
+        {
+          sp_config = c.cfg_name;
+          sp_n = c.cfg_n;
+          sp_ell = c.cfg_ell;
+          sp_requests = c.cfg_steps;
+          sp_batch = c.cfg_batch;
+          sp_domains = d;
+          sp_seq_rps = seq_rps;
+          sp_batched_rps = batched_rps;
+          sp_speedup = batched_rps /. seq_rps;
+          sp_identical = identical;
+          sp_sequential_path = sequential_path;
+        })
+      sweep_domains
+  in
+  List.concat_map sweep_config configs
+
+let write_bench_json ~components ~experiments ~parallel ~serve ~sweep =
+  let oc = open_out "BENCH_4.json" in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"rbgp-bench/3\",\n";
+  out "{\n  \"schema\": \"rbgp-bench/4\",\n";
   out "  \"components\": [\n";
   List.iteri
     (fun i (name, ns, r2) ->
       out "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r2\": %s}%s\n"
-        (json_escape name) (json_num ns)
-        (match r2 with Some r -> json_num r | None -> "null")
+        (json_escape name) (json_num ns) (json_num r2)
         (if i < List.length components - 1 then "," else ""))
     components;
   out "  ],\n  \"experiments\": [\n";
@@ -412,9 +609,25 @@ let write_bench_json ~components ~experiments ~parallel ~serve =
         s.p99_ns s.serve_comm s.serve_mig s.resume_identical
         (if i < List.length serve - 1 then "," else ""))
     serve;
+  out "  ],\n  \"domains_sweep\": [\n";
+  List.iteri
+    (fun i p ->
+      out
+        "    {\"config\": \"%s\", \"n\": %d, \"ell\": %d, \"requests\": %d, \
+         \"batch\": %d, \"domains\": %d, \"seq_rps\": %s, \
+         \"batched_rps\": %s, \"speedup\": %s, \"identical\": %b, \
+         \"sequential_path\": %s}%s\n"
+        (json_escape p.sp_config) p.sp_n p.sp_ell p.sp_requests p.sp_batch
+        p.sp_domains (json_num p.sp_seq_rps) (json_num p.sp_batched_rps)
+        (json_num p.sp_speedup) p.sp_identical
+        (match p.sp_sequential_path with
+        | Some b -> string_of_bool b
+        | None -> "null")
+        (if i < List.length sweep - 1 then "," else ""))
+    sweep;
   out "  ]\n}\n";
   close_out oc;
-  print_endline "wrote BENCH_3.json"
+  print_endline "wrote BENCH_4.json"
 
 let () =
   let components = run_benchmarks () in
@@ -436,4 +649,18 @@ let () =
   let parallel = [ parallel_check "e8"; parallel_check "e10" ] in
   print_newline ();
   let serve = serve_bench () in
-  write_bench_json ~components ~experiments ~parallel ~serve
+  print_newline ();
+  let sweep = domains_sweep () in
+  write_bench_json ~components ~experiments ~parallel ~serve ~sweep;
+  (* the fidelity gate: a component whose fit explains less than half the
+     variance is a measurement failure, not a data point *)
+  let low =
+    List.filter (fun (_, _, r2) -> not (r2 >= 0.5)) components
+  in
+  if low <> [] then begin
+    List.iter
+      (fun (name, _, r2) ->
+        Printf.eprintf "component %s: r^2 %.3f below the 0.5 floor\n" name r2)
+      low;
+    exit 1
+  end

@@ -42,9 +42,10 @@ let domains_arg =
     & opt (some positive_int) None
     & info [ "domains" ] ~docv:"D"
         ~doc:
-          "Number of domains (cores) used to fan experiment cells out. \
-           Defaults to \\$(b,RBGP_DOMAINS) or the machine's recommended \
-           domain count; results are byte-identical for any value.")
+          "Number of domains (cores) used to fan experiment cells out and \
+           to pre-solve batched serve requests (see --batch). Defaults to \
+           \\$(b,RBGP_DOMAINS) or the machine's recommended domain count; \
+           results are byte-identical for any value.")
 
 let grain_arg =
   let positive_int =
@@ -245,7 +246,7 @@ let open_source ~trace ~format ~n =
    request, embed a metrics record every N requests, keep a rolling
    checkpoint, dump metrics on SIGUSR1 and at exit. *)
 let serve_loop engine source ~decisions ~metrics_every ~checkpoint_path
-    ~checkpoint_every ~stop_after =
+    ~checkpoint_every ~stop_after ~batch =
   let m = Engine.metrics engine in
   (try
      Sys.set_signal Sys.sigusr1
@@ -259,22 +260,51 @@ let serve_loop engine source ~decisions ~metrics_every ~checkpoint_path
     | Some path -> Ckpt.write ~path (Engine.checkpoint engine)
     | None -> ()
   in
+  (* a cadence boundary (metrics-every / checkpoint-every) fires when a
+     batch crosses a multiple of N; with --batch 1 this is exactly the old
+     [pos mod N = 0] behaviour *)
+  let crossed every ~before ~after =
+    every > 0 && after / every > before / every
+  in
+  let buf = Array.make (Stdlib.max 1 batch) 0 in
   let served = ref 0 in
   let continue = ref true in
   while !continue do
-    let stop = match stop_after with Some s -> !served >= s | None -> false in
-    match (if stop then None else Source.next source) with
-    | None -> continue := false
-    | Some e ->
-        let d = Engine.ingest engine e in
-        incr served;
-        if decisions then print_endline (Engine.decision_to_json d);
-        if metrics_every > 0 && Engine.pos engine mod metrics_every = 0 then
+    let want =
+      let cap = Array.length buf in
+      match stop_after with
+      | Some s -> Stdlib.min cap (s - !served)
+      | None -> cap
+    in
+    if want <= 0 then continue := false
+    else begin
+      let got = ref 0 in
+      while
+        !got < want
+        &&
+        match Source.next source with
+        | Some e ->
+            buf.(!got) <- e;
+            incr got;
+            true
+        | None ->
+            continue := false;
+            false
+      do
+        ()
+      done;
+      if !got > 0 then begin
+        let before = Engine.pos engine in
+        let ds = Engine.ingest_batch engine (Array.sub buf 0 !got) in
+        served := !served + !got;
+        if decisions then
+          Array.iter (fun d -> print_endline (Engine.decision_to_json d)) ds;
+        let after = Engine.pos engine in
+        if crossed metrics_every ~before ~after then
           print_endline (Metrics.to_json m);
-        if
-          checkpoint_every > 0
-          && Engine.pos engine mod checkpoint_every = 0
-        then write_ckpt ()
+        if crossed checkpoint_every ~before ~after then write_ckpt ()
+      end
+    end
   done;
   write_ckpt ();
   print_endline (Metrics.to_json m);
@@ -345,6 +375,17 @@ let stop_after_arg =
         ~doc:"Stop serving after N requests even if the source has more \
               (e.g. to take a mid-stream checkpoint).")
 
+let batch_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Ingest up to N requests per engine call (default 1).  Batching \
+           lets interval-sharded algorithms pre-solve requests in parallel \
+           across domains (see --domains); decisions, costs and \
+           checkpoints are byte-identical to --batch 1.  Metrics and \
+           checkpoint cadences are evaluated at batch boundaries.")
+
 let serve_cmd =
   let alg_arg =
     Arg.(
@@ -358,8 +399,10 @@ let serve_cmd =
     Arg.(value & opt float 0.5 & info [ "epsilon" ] ~doc:"Augmentation slack.")
   in
   let run alg n ell epsilon seed trace format accounting no_decisions
-      metrics_every checkpoint_path checkpoint_every stop_after verbose =
+      metrics_every checkpoint_path checkpoint_every stop_after batch domains
+      verbose =
     setup_logs verbose;
+    Rbgp_util.Pool.set_domains domains;
     let inst = Rbgp_ring.Instance.blocks ~n ~ell in
     let engine = Engine.create ~accounting ~epsilon ~alg ~seed inst in
     let source = open_source ~trace ~format ~n in
@@ -367,7 +410,7 @@ let serve_cmd =
       ~finally:(fun () -> Source.close source)
       (fun () ->
         serve_loop engine source ~decisions:(not no_decisions) ~metrics_every
-          ~checkpoint_path ~checkpoint_every ~stop_after)
+          ~checkpoint_path ~checkpoint_every ~stop_after ~batch)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -378,7 +421,7 @@ let serve_cmd =
       const run $ alg_arg $ n $ ell $ epsilon $ seed_arg $ trace_arg
       $ format_arg $ accounting_arg $ decisions_arg $ metrics_every_arg
       $ checkpoint_path_arg $ checkpoint_every_arg $ stop_after_arg
-      $ verbose_arg)
+      $ batch_arg $ domains_arg $ verbose_arg)
 
 let resume_cmd =
   let from_arg =
@@ -397,8 +440,9 @@ let resume_cmd =
              the checkpoint request for request.")
   in
   let run from trace format accounting skip_prefix no_decisions metrics_every
-      checkpoint_path checkpoint_every stop_after verbose =
+      checkpoint_path checkpoint_every stop_after batch domains verbose =
     setup_logs verbose;
+    Rbgp_util.Pool.set_domains domains;
     let ckpt = Ckpt.read ~path:from in
     let engine = Engine.resume ~accounting ckpt in
     let source = open_source ~trace ~format ~n:ckpt.Ckpt.n in
@@ -424,7 +468,7 @@ let resume_cmd =
                        i ckpt.Ckpt.pos))
             ckpt.Ckpt.prefix;
         serve_loop engine source ~decisions:(not no_decisions) ~metrics_every
-          ~checkpoint_path ~checkpoint_every ~stop_after)
+          ~checkpoint_path ~checkpoint_every ~stop_after ~batch)
   in
   Cmd.v
     (Cmd.info "resume"
@@ -436,7 +480,7 @@ let resume_cmd =
       const run $ from_arg $ trace_arg $ format_arg $ accounting_arg
       $ skip_prefix_arg $ decisions_arg $ metrics_every_arg
       $ checkpoint_path_arg $ checkpoint_every_arg $ stop_after_arg
-      $ verbose_arg)
+      $ batch_arg $ domains_arg $ verbose_arg)
 
 let checkpoint_cmd =
   let file_arg =

@@ -5,14 +5,27 @@ module Intervals = Rbgp_ring.Intervals
 module Mts = Rbgp_mts.Mts
 module Metric = Rbgp_mts.Metric
 module Rng = Rbgp_util.Rng
+module Pool = Rbgp_util.Pool
 
 type t = {
   inst : Instance.t;
   dec : Intervals.t;
   solvers : Mts.t array;
   cuts : int array;  (* global cut edge per interval *)
+  cut_locals : int array;  (* the same cuts in interval-local coordinates *)
+  bases : int array;  (* first global edge of each interval *)
+  iv_of_edge : int array;  (* global edge -> owning interval *)
+  local_of_edge : int array;  (* global edge -> local index in its interval *)
+  indicators : float array array;  (* reusable cost vector per interval *)
   assignment : Assignment.t;
   scratch_servers : int array;
+  (* batch scratch, grown on demand; see [serve_batch] *)
+  mutable batch_order : int array;
+  mutable batch_locals : int array;
+  shard_counts : int array;
+  shard_offsets : int array;
+  shard_fill : int array;
+  shard_work : int array;
 }
 
 (* The first initial cut edge inside interval i: the MTS start state.
@@ -56,47 +69,176 @@ let create ?shift ?(mts = Rbgp_mts.Smin_mw.solver) ~epsilon (inst : Instance.t)
          "Dynamic_alg.create: %d intervals exceed %d servers (epsilon too \
           small for this instance?)"
          dec.Intervals.ell' inst.Instance.ell);
+  let ell' = dec.Intervals.ell' in
+  (* per-interval seed split happens here, sequentially in interval order:
+     solver i owns an independent rng stream whose identity is fixed before
+     any request arrives, so sharded execution cannot perturb it *)
   let solvers =
-    Array.init dec.Intervals.ell' (fun i ->
+    Array.init ell' (fun i ->
         let metric = Metric.Line (Intervals.width dec i) in
         let start = initial_cut_local inst dec i in
         mts metric ~start ~rng:(Rng.split rng))
   in
-  let cuts =
-    Array.init dec.Intervals.ell' (fun i ->
-        Intervals.to_global dec i (Mts.state solvers.(i)))
-  in
+  let cut_locals = Array.init ell' (fun i -> Mts.state solvers.(i)) in
+  let bases = Array.init ell' (Intervals.base dec) in
+  let cuts = Array.init ell' (fun i -> (bases.(i) + cut_locals.(i)) mod n) in
+  (* O(1) request routing: interval widths sum to n, so one pass fills the
+     whole edge->interval map (replaces the O(ell') Intervals.locate scan
+     on the hot path) *)
+  let iv_of_edge = Array.make n 0 and local_of_edge = Array.make n 0 in
+  for i = 0 to ell' - 1 do
+    for local = 0 to Intervals.width dec i - 1 do
+      let e = (bases.(i) + local) mod n in
+      iv_of_edge.(e) <- i;
+      local_of_edge.(e) <- local
+    done
+  done;
   let t =
     {
       inst;
       dec;
       solvers;
       cuts;
+      cut_locals;
+      bases;
+      iv_of_edge;
+      local_of_edge;
+      indicators =
+        Array.init ell' (fun i -> Array.make (Intervals.width dec i) 0.0);
       assignment = Assignment.create inst;
       scratch_servers = Array.make n 0;
+      batch_order = [||];
+      batch_locals = [||];
+      shard_counts = Array.make ell' 0;
+      shard_offsets = Array.make ell' 0;
+      shard_fill = Array.make ell' 0;
+      shard_work = Array.make ell' 0;
     }
   in
   apply_cuts t;
   t
 
+(* Feed one request to interval i's solver through its reusable indicator
+   vector (Mts.serve only reads the vector, so setting and clearing one
+   entry leaves it all-zero for the next request — no per-request
+   allocation). *)
+let serve_local t i local =
+  let vec = t.indicators.(i) in
+  vec.(local) <- 1.0;
+  let new_local = Mts.serve t.solvers.(i) vec in
+  vec.(local) <- 0.0;
+  new_local
+
+(* Move interval i's cut to [new_local], updating the assignment
+   incrementally: server i owns the vertex slice (cuts.(i), cuts.(i+1)]
+   (see Intervals.slices_of_cuts), so advancing cut i hands the vertices
+   between old and new cut to the predecessor slice, and retreating it
+   reclaims them.  The moved range lies strictly inside interval i and
+   can therefore never cross another interval's cut.  The journal records
+   exactly the same set of process moves as a full apply_cuts rewrite. *)
+let move_cut t i new_local =
+  let old_local = t.cut_locals.(i) in
+  if new_local <> old_local then begin
+    let ell' = t.dec.Intervals.ell' in
+    let n = t.inst.Instance.n in
+    let b = t.bases.(i) in
+    t.cut_locals.(i) <- new_local;
+    t.cuts.(i) <- (b + new_local) mod n;
+    if ell' > 1 then
+      if new_local > old_local then begin
+        let dst = (i + ell' - 1) mod ell' in
+        for x = old_local + 1 to new_local do
+          Assignment.set t.assignment ((b + x) mod n) dst
+        done
+      end
+      else
+        for x = new_local + 1 to old_local do
+          Assignment.set t.assignment ((b + x) mod n) i
+        done
+  end
+
 let serve t e =
-  let i, local = Intervals.locate t.dec e in
-  let vector = Mts.indicator local ~n:(Intervals.width t.dec i) in
-  let new_local = Mts.serve t.solvers.(i) vector in
-  let new_cut = Intervals.to_global t.dec i new_local in
-  if new_cut <> t.cuts.(i) then begin
-    t.cuts.(i) <- new_cut;
-    apply_cuts t
+  if e < 0 || e >= t.inst.Instance.n then
+    invalid_arg "Dynamic_alg.serve: edge out of range";
+  let i = t.iv_of_edge.(e) in
+  move_cut t i (serve_local t i t.local_of_edge.(e))
+
+let ensure_batch_scratch t b =
+  if Array.length t.batch_order < b then begin
+    let cap = Stdlib.max b (2 * Array.length t.batch_order) in
+    t.batch_order <- Array.make cap 0;
+    t.batch_locals <- Array.make cap 0
+  end
+
+(* Interval-sharded batch path (the Section-3 decomposition as the
+   parallelism axis): each interval's solver sees exactly its own
+   requests, in arrival order, regardless of how intervals are scheduled
+   across domains — so the solver states, rng streams and decisions are
+   identical to the sequential path, and the in-order merge below replays
+   the assignment mutations request by request. *)
+let serve_batch t edges =
+  let b = Array.length edges in
+  let n = t.inst.Instance.n in
+  Array.iter
+    (fun e ->
+      if e < 0 || e >= n then
+        invalid_arg "Dynamic_alg.serve_batch: edge out of range")
+    edges;
+  if b <= 1 then fun j -> serve t edges.(j)
+  else begin
+    let ell' = t.dec.Intervals.ell' in
+    ensure_batch_scratch t b;
+    let order = t.batch_order and locals = t.batch_locals in
+    let counts = t.shard_counts and offsets = t.shard_offsets in
+    Array.fill counts 0 ell' 0;
+    for j = 0 to b - 1 do
+      let i = t.iv_of_edge.(edges.(j)) in
+      counts.(i) <- counts.(i) + 1
+    done;
+    let nwork = ref 0 in
+    let acc = ref 0 in
+    for i = 0 to ell' - 1 do
+      offsets.(i) <- !acc;
+      acc := !acc + counts.(i);
+      if counts.(i) > 0 then begin
+        t.shard_work.(!nwork) <- i;
+        incr nwork
+      end
+    done;
+    (* stable bucket sort: order.(offsets.(i) ..) lists the batch indices
+       of interval i's requests in arrival order *)
+    let fill = t.shard_fill in
+    Array.blit offsets 0 fill 0 ell';
+    for j = 0 to b - 1 do
+      let i = t.iv_of_edge.(edges.(j)) in
+      order.(fill.(i)) <- j;
+      fill.(i) <- fill.(i) + 1
+    done;
+    let work = Array.sub t.shard_work 0 !nwork in
+    let run i =
+      let stop = offsets.(i) + counts.(i) in
+      for idx = offsets.(i) to stop - 1 do
+        let j = order.(idx) in
+        locals.(j) <- serve_local t i t.local_of_edge.(edges.(j))
+      done
+    in
+    (* each worker touches only its claimed intervals' solvers, indicator
+       vectors and [locals] slots; the pool's join publishes all writes
+       before the merge reads them.  The family estimate keeps small
+       batches sequential automatically. *)
+    ignore (Pool.map ~family:"dynalg.shard" run work);
+    fun j -> move_cut t (t.iv_of_edge.(edges.(j))) locals.(j)
   end
 
 let online t =
-  Rbgp_ring.Online.with_journal (Assignment.journal t.assignment)
+  Rbgp_ring.Online.with_batch (serve_batch t)
+  @@ Rbgp_ring.Online.with_journal (Assignment.journal t.assignment)
   @@ Rbgp_ring.Online.make ~name:"onl-dynamic"
-    ~augmentation:
-      (float_of_int (Intervals.max_slice_len t.dec)
-      /. float_of_int t.inst.Instance.k)
-    ~assignment:(fun () -> t.assignment)
-    ~serve:(fun e -> serve t e)
+       ~augmentation:
+         (float_of_int (Intervals.max_slice_len t.dec)
+         /. float_of_int t.inst.Instance.k)
+       ~assignment:(fun () -> t.assignment)
+       ~serve:(fun e -> serve t e)
 
 let shift t = t.dec.Intervals.shift
 let cut_edges t = Array.copy t.cuts

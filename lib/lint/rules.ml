@@ -22,6 +22,11 @@
                         the exception or match specific constructors.
    R6  missing-mli      every lib/ module ships an interface, so the
                         public surface is deliberate.
+   R7  domain-safety    spawning domains or submitting pool jobs from an
+                        arbitrary lib/ module risks nested-parallel
+                        deadlocks and schedule-dependent state; parallel
+                        entry points live behind audited, allowlisted
+                        modules only.
 
    Rules are syntactic (no typing pass), which keeps the linter fast and
    dependency-free; the cost is a small class of heuristic calls, all
@@ -91,6 +96,27 @@ let nondet_message = function
          it breaks pool byte-identity"
   | _ -> None
 
+(* R7: the Domain stdlib module and the pool API are the only ways code in
+   this tree goes parallel.  Every lib/ module that touches either must be
+   on the Domain-safety allowlist with a written audit: what shared state
+   the parallel region can reach, and why results stay deterministic. *)
+let domain_safety_message p =
+  let rec member_of m = function
+    | x :: _ :: _ when String.equal x m -> true
+    | _ :: rest -> member_of m rest
+    | [] -> false
+  in
+  if member_of "Domain" p then
+    Some
+      "direct Domain API use in lib/; parallelism belongs behind the \
+       audited pool layer — record the safety audit in the lint allowlist"
+  else if member_of "Pool" p then
+    Some
+      "pool job submission in lib/; parallel call sites must be on the \
+       Domain-safety allowlist with a written audit of the shared state \
+       their tasks touch"
+  else None
+
 let partial_message = function
   | [ "List"; "hd" ] | [ "List"; "tl" ] ->
       Some "partial on []; match the list shape explicitly"
@@ -144,6 +170,10 @@ let expression_findings ~path ~scope (str : Parsetree.structure) =
     (if is_lib scope then
        match nondet_message p with
        | Some msg -> add ~loc ~rule:"r2-nondeterminism" msg
+       | None -> ());
+    (if is_lib scope then
+       match domain_safety_message p with
+       | Some msg -> add ~loc ~rule:"r7-domain-safety" msg
        | None -> ());
     match partial_message p with
     | Some msg -> add ~loc ~rule:"r3-partial" msg
@@ -318,5 +348,9 @@ let descriptions =
       "no catch-all try ... with _ -> handlers; bind the exception or \
        match specific constructors" );
     ("r6-missing-mli", "every lib/**/*.ml ships a corresponding .mli");
+    ( "r7-domain-safety",
+      "no Domain API use or pool job submission in lib/ outside the \
+       audited Domain-safety allowlist — nested parallelism deadlocks \
+       and schedule-dependent state hide behind unaudited call sites" );
     ("parse-error", "file must parse with the OCaml 5.1 grammar");
   ]

@@ -13,7 +13,10 @@
     - [r4-global-mutable] — module-level [ref]/[Hashtbl.create]/
       [Array.make]/[Atomic.make]/... in lib/ (shared across pool domains).
     - [r5-catchall-exn] — [try ... with _ ->] and [exception _ ->] cases.
-    - [r6-missing-mli] — lib/ modules without an interface file. *)
+    - [r6-missing-mli] — lib/ modules without an interface file.
+    - [r7-domain-safety] — [Domain.*] API use or pool job submission
+      ([...Pool.*]) in lib/ modules not on the audited Domain-safety
+      allowlist. *)
 
 type scope = { area : [ `Lib | `Bin | `Bench | `Other ]; sublib : string option }
 
@@ -27,7 +30,7 @@ val is_hot : scope -> bool
 val is_lib : scope -> bool
 
 val check_structure : path:string -> Parsetree.structure -> Finding.t list
-(** All expression-level rules (R1, R2, R3, R5) plus the top-level
+(** All expression-level rules (R1, R2, R3, R5, R7) plus the top-level
     mutable-state rule (R4) over one implementation file. *)
 
 val check_signature : path:string -> Parsetree.signature -> Finding.t list

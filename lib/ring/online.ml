@@ -6,6 +6,7 @@ type t = {
   journal : Assignment.journal option;
   snapshot : (unit -> string) option;
   restore : (string -> unit) option;
+  batch : (int array -> int -> unit) option;
 }
 
 let make ~name ~augmentation ~assignment ~serve =
@@ -17,9 +18,12 @@ let make ~name ~augmentation ~assignment ~serve =
     journal = None;
     snapshot = None;
     restore = None;
+    batch = None;
   }
 
 let with_journal journal t = { t with journal = Some journal }
 
 let with_state ~snapshot ~restore t =
   { t with snapshot = Some snapshot; restore = Some restore }
+
+let with_batch batch t = { t with batch = Some batch }

@@ -49,6 +49,20 @@ type t = {
   restore : (string -> unit) option;
       (** Inverse of [snapshot]; raises [Invalid_argument] on a byte
           string this algorithm version cannot decode. *)
+  batch : (int array -> int -> unit) option;
+      (** Optional batched request path, the hook behind interval-sharded
+          parallel serving.  [batch edges] pre-computes the algorithm's
+          decisions for the whole batch — possibly in parallel across
+          independent sub-instances — and returns an [apply] function;
+          [apply j] then performs {e exactly} the observable mutations
+          (assignment updates, journal entries) that [serve edges.(j)]
+          would have performed, and must be called in order
+          [j = 0, 1, ...].  Contract: for every batch decomposition of a
+          request sequence, interleaving [apply j] with arbitrary reads of
+          the assignment is indistinguishable from calling [serve] request
+          by request.  Algorithms whose per-request decisions depend on
+          global state that [apply] cannot reproduce must leave this
+          [None]. *)
 }
 
 val make :
@@ -68,3 +82,7 @@ val with_journal : Assignment.journal -> t -> t
 val with_state : snapshot:(unit -> string) -> restore:(string -> unit) -> t -> t
 (** [with_state ~snapshot ~restore t] declares that [t] supports explicit
     state checkpointing (see the field contracts above). *)
+
+val with_batch : (int array -> int -> unit) -> t -> t
+(** [with_batch b t] declares that [t] supports the batched request path
+    (see the [batch] field contract above). *)

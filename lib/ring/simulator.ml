@@ -148,7 +148,7 @@ let stepper ?(strict = true) ?(accounting = `Auto) ?cost ?max_load ?violations
     capacity_ok;
   }
 
-let step st e =
+let step_with st e serve_now =
   let alg = st.alg in
   if e < 0 || e >= st.inst.Instance.n then
     invalid_arg "Simulator.step: edge out of range";
@@ -157,7 +157,7 @@ let step st e =
   let current = alg.Online.assignment () in
   let comm = if Assignment.cuts_edge current e then 1 else 0 in
   st.s_cost.Cost.comm <- st.s_cost.Cost.comm + comm;
-  alg.Online.serve e;
+  serve_now ();
   let moved = st.account current in
   st.s_cost.Cost.mig <- st.s_cost.Cost.mig + moved;
   if not (st.capacity_ok current) then begin
@@ -173,6 +173,31 @@ let step st e =
   end;
   st.s_steps <- st.s_steps + 1;
   (comm, moved)
+
+let step st e = step_with st e (fun () -> st.alg.Online.serve e)
+
+(* Batched stepping: pre-solve the algorithm's decisions for the whole
+   batch (in parallel, when the algorithm provides [Online.batch]), then
+   play them through the exact per-request accounting above.  All edges are
+   validated up front — the algorithm's batch hook may inspect them before
+   any step is played. *)
+let prepare st edges =
+  let n = st.inst.Instance.n in
+  Array.iter
+    (fun e ->
+      if e < 0 || e >= n then invalid_arg "Simulator.step: edge out of range")
+    edges;
+  let apply =
+    match st.alg.Online.batch with
+    | Some b when Array.length edges > 1 -> b edges
+    | _ -> fun j -> st.alg.Online.serve edges.(j)
+  in
+  let next = ref 0 in
+  fun j ->
+    if j <> !next then
+      invalid_arg "Simulator.prepare: requests must be played in order";
+    incr next;
+    step_with st edges.(j) (fun () -> apply j)
 
 let stepper_result st =
   {

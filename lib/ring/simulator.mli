@@ -76,6 +76,23 @@ val step : stepper -> int -> int * int
     {!stepper_result}.  Raises [Invalid_argument] if [e] is out of
     [\[0, n)]. *)
 
+val prepare : stepper -> int array -> int -> int * int
+(** [prepare st edges] pre-solves a whole batch of requests and returns a
+    [play] function; [play j] performs the accounting of
+    [step st edges.(j)] and returns the same [(comm, migrations)] pair.
+    When the algorithm provides a batched path ({!Online.t.batch}) the
+    decisions for all requests are computed before the first [play] —
+    potentially sharded across domains — while costs, journal accounting,
+    load tracking and capacity checks still happen request by request in
+    arrival order, so results are identical to [step]ping each edge.
+
+    [play] must be called exactly in order [j = 0, 1, ...] (raises
+    [Invalid_argument] otherwise).  Unlike [step], all edges are validated
+    {e up front}, so an out-of-range edge anywhere in the batch raises
+    before any request is served.  On a strict-mode capacity failure at
+    request [j], requests after [j] have already been pre-solved inside
+    the algorithm; the stepper must not be reused past the failure. *)
+
 val stepper_result : stepper -> result
 (** Cumulative totals so far ([per_step] is always [None]; the returned
     [cost] is the live accumulator, not a copy). *)

@@ -124,7 +124,11 @@ let push_prefix t e =
   end;
   t.prefix.(t.pos) <- e
 
-let ingest t e =
+(* One request's bookkeeping around [play] (the accounting step):
+   identical for the per-request and batched paths, so every decision
+   field except the wall-clock [latency_ns] is byte-identical between
+   them. *)
+let ingest_step t e play =
   let t0 = now_ns () in
   let prev =
     if t.sanitize then begin
@@ -134,7 +138,7 @@ let ingest t e =
     end
     else None
   in
-  let comm, moved = Simulator.step t.stepper e in
+  let comm, moved = play () in
   push_prefix t e;
   t.pos <- t.pos + 1;
   let r = Simulator.stepper_result t.stepper in
@@ -156,6 +160,15 @@ let ingest t e =
     max_load = r.Simulator.max_load;
     latency_ns;
   }
+
+let ingest t e = ingest_step t e (fun () -> Simulator.step t.stepper e)
+
+let ingest_batch t edges =
+  if Array.length edges = 0 then [||]
+  else begin
+    let play = Simulator.prepare t.stepper edges in
+    Array.mapi (fun j e -> ingest_step t e (fun () -> play j)) edges
+  end
 
 let pos t = t.pos
 let result t = Simulator.stepper_result t.stepper
@@ -251,7 +264,17 @@ let resume ?(strict = true) ?(accounting = `Auto) ?sanitize
         make_engine ~strict ~accounting ?sanitize ~epsilon:ckpt.Checkpoint.epsilon
           ~alg:ckpt.Checkpoint.alg ~seed:ckpt.Checkpoint.seed inst online
       in
-      Array.iter (fun e -> ignore (ingest t e)) ckpt.Checkpoint.prefix;
+      (* replay through the batched path: byte-identical to per-request
+         ingest by the Online.batch contract, and sharded across domains
+         for algorithms that support it, so long prefixes resume faster *)
+      let m = Array.length ckpt.Checkpoint.prefix in
+      let chunk = 8192 in
+      let at = ref 0 in
+      while !at < m do
+        let len = Stdlib.min chunk (m - !at) in
+        ignore (ingest_batch t (Array.sub ckpt.Checkpoint.prefix !at len));
+        at := !at + len
+      done;
       verify_against ckpt t ~how:"prefix replay";
       Metrics.reset t.metrics;
       t

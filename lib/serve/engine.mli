@@ -60,6 +60,19 @@ val ingest : t -> int -> decision
     migrations, check capacity ([Failure] in strict mode on violation),
     record the request in the replay prefix and update metrics. *)
 
+val ingest_batch : t -> int array -> decision array
+(** Serve a batch of requests through {!Rbgp_ring.Simulator.prepare}: the
+    algorithm may pre-solve the whole batch sharded across pool domains
+    (see {!Rbgp_ring.Online.t.batch}), while accounting, sanitizer checks,
+    the replay prefix and metrics are still advanced request by request in
+    arrival order.  Every decision field except the wall-clock
+    [latency_ns] is byte-identical to calling {!ingest} on each edge in
+    turn, for any batch decomposition and any domain count; checkpoints
+    taken between batches resume identically.  All edges are validated up
+    front; on a strict-mode capacity failure mid-batch the engine must
+    not be used further (later requests were already pre-solved inside
+    the algorithm). *)
+
 val pos : t -> int
 (** Requests served so far (including any checkpointed prefix). *)
 

@@ -1,6 +1,6 @@
 (* Tests for the repo-specific static-analysis pass (lib/lint).
 
-   Per rule R1..R6: one fixture the rule must flag and one it must not.
+   Per rule R1..R7: one fixture the rule must flag and one it must not.
    Then the allowlist contract (justification mandatory, suppression,
    line scoping, expiry, staleness), the JSON reporter round-trip, and a
    self-lint check asserting the repository itself is clean under the
@@ -130,6 +130,25 @@ let test_r6 () =
     (List.map
        (fun f -> f.Finding.file)
        (Rules.missing_mli ~files:[ "lib/foo/a.ml"; "lib/foo/a.mli" ]))
+
+(* --- R7: Domain-safety ------------------------------------------------- *)
+
+let test_r7 () =
+  check_flags "Domain.spawn in lib flagged" "r7-domain-safety"
+    ~path:"lib/ring/fake.ml" "let d f = Domain.spawn f";
+  check_flags "Domain.join in lib flagged" "r7-domain-safety"
+    ~path:"lib/core/fake.ml" "let j d = Domain.join d";
+  check_flags "qualified pool map in lib flagged" "r7-domain-safety"
+    ~path:"lib/core/fake.ml" "let f xs = Rbgp_util.Pool.map succ xs";
+  check_flags "aliased pool map in lib flagged" "r7-domain-safety"
+    ~path:"lib/serve/fake.ml"
+    "module Pool = Rbgp_util.Pool\nlet f xs = Pool.map succ xs";
+  check_clean "Domain use in bin/ is fine" "r7-domain-safety"
+    ~path:"bin/fake.ml" "let d f = Domain.spawn f";
+  check_clean "pool use in bench/ is fine" "r7-domain-safety"
+    ~path:"bench/fake.ml" "let f xs = Rbgp_util.Pool.map succ xs";
+  check_clean "unrelated module members are clean" "r7-domain-safety"
+    ~path:"lib/ring/fake.ml" "let f x = Array.length x + Int.abs x"
 
 (* --- parse errors ------------------------------------------------------ *)
 
@@ -304,6 +323,7 @@ let () =
           Alcotest.test_case "r4 top-level mutable state" `Quick test_r4;
           Alcotest.test_case "r5 catch-all handlers" `Quick test_r5;
           Alcotest.test_case "r6 missing interfaces" `Quick test_r6;
+          Alcotest.test_case "r7 domain safety" `Quick test_r7;
           Alcotest.test_case "parse errors are findings" `Quick
             test_parse_error;
         ] );

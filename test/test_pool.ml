@@ -111,6 +111,81 @@ let test_map_under_grain () =
         [ 1; 3; 1000 ])
     ~finally:(fun () -> Pool.set_grain None)
 
+let test_auto_grain_estimates () =
+  Pool.reset_estimates ();
+  Alcotest.(check bool)
+    "no estimate before any tagged map" true
+    (Pool.estimated_cost_ns "test.family" = None);
+  let items = Array.init 300 (fun i -> i) in
+  let expected = Array.map succ items in
+  (* first tagged map: no estimate yet, optimistic parallel dispatch *)
+  Alcotest.(check (array int))
+    "first tagged map" expected
+    (Pool.map ~domains:4 ~family:"test.family" succ items);
+  (match Pool.estimated_cost_ns "test.family" with
+  | Some c -> Alcotest.(check bool) "estimate recorded" true (c >= 0.0)
+  | None -> Alcotest.fail "tagged map left no cost estimate");
+  (* with an estimate this cheap, est * n is far under the cutoff: the
+     job must now take the sequential path — with identical results *)
+  Alcotest.(check (array int))
+    "tiny tagged job identical" expected
+    (Pool.map ~domains:4 ~family:"test.family" succ items);
+  Alcotest.(check bool)
+    "tiny tagged job stayed sequential" false
+    (Pool.last_map_parallel ());
+  Pool.reset_estimates ();
+  Alcotest.(check bool)
+    "reset drops estimates" true
+    (Pool.estimated_cost_ns "test.family" = None)
+
+let test_auto_grain_forced_grain_wins () =
+  (* an explicit grain disables the cost heuristic: the job goes parallel
+     with the forced chunk size even though its estimate says "tiny" *)
+  Pool.reset_estimates ();
+  let items = Array.init 128 (fun i -> i) in
+  ignore (Pool.map ~domains:4 ~family:"test.grain" succ items);
+  ignore (Pool.map ~domains:4 ~family:"test.grain" succ items);
+  Alcotest.(check bool)
+    "heuristic keeps it sequential" false
+    (Pool.last_map_parallel ());
+  Fun.protect
+    ~finally:(fun () -> Pool.set_grain None)
+    (fun () ->
+      Pool.set_grain (Some 8);
+      Alcotest.(check (array int))
+        "forced grain, same results"
+        (Array.map succ items)
+        (Pool.map ~domains:4 ~family:"test.grain" succ items);
+      Alcotest.(check bool)
+        "forced grain dispatches in parallel" true
+        (Pool.last_map_parallel ()));
+  Pool.reset_estimates ()
+
+let test_sequential_cutoff_override () =
+  Alcotest.(check bool)
+    "default cutoff" true
+    (Pool.sequential_cutoff_ns () = 200_000.0);
+  Pool.reset_estimates ();
+  let items = Array.init 64 (fun i -> i) in
+  ignore (Pool.map ~domains:4 ~family:"test.cutoff" succ items);
+  Fun.protect
+    ~finally:(fun () -> Pool.set_sequential_cutoff None)
+    (fun () ->
+      (* a near-zero cutoff means nothing is "small": even this tiny job
+         dispatches in parallel *)
+      Pool.set_sequential_cutoff (Some 1e-6);
+      Alcotest.(check (array int))
+        "tiny cutoff, same results"
+        (Array.map succ items)
+        (Pool.map ~domains:4 ~family:"test.cutoff" succ items);
+      Alcotest.(check bool)
+        "tiny cutoff dispatches in parallel" true
+        (Pool.last_map_parallel ()));
+  Alcotest.check_raises "non-positive cutoff rejected"
+    (Invalid_argument "Pool.set_sequential_cutoff: need a positive cutoff")
+    (fun () -> Pool.set_sequential_cutoff (Some 0.0));
+  Pool.reset_estimates ()
+
 let test_warmup_shutdown_idempotent () =
   (* warmup twice, shutdown twice, then map must still work (workers are
      respawned on demand after a shutdown) *)
@@ -238,6 +313,12 @@ let () =
             test_map_seeded_deterministic;
           Alcotest.test_case "set_domains" `Quick test_set_domains;
           Alcotest.test_case "set_grain" `Quick test_set_grain;
+          Alcotest.test_case "auto-grain cost estimates" `Quick
+            test_auto_grain_estimates;
+          Alcotest.test_case "auto-grain vs forced grain" `Quick
+            test_auto_grain_forced_grain_wins;
+          Alcotest.test_case "sequential cutoff override" `Quick
+            test_sequential_cutoff_override;
           Alcotest.test_case "map under grain overrides" `Quick
             test_map_under_grain;
           Alcotest.test_case "warmup/shutdown idempotent" `Quick

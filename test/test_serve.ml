@@ -256,6 +256,135 @@ let qcheck_checkpoint_resume =
       && got.violations = uninterrupted.violations
       && got.assignment = uninterrupted.assignment)
 
+(* --- batched / interval-sharded ingest ------------------------------- *)
+
+(* Every decision field except the wall-clock latency, for byte-identity
+   comparisons between the per-request and batched paths. *)
+let decision_key (d : Engine.decision) =
+  Printf.sprintf "%d|%d|%d|%d|%d|%d|%d" d.Engine.step d.Engine.edge
+    d.Engine.comm d.Engine.moved d.Engine.cum_comm d.Engine.cum_mig
+    d.Engine.max_load
+
+let per_request_run ?accounting ~alg ~seed inst trace =
+  let e = Engine.create ?accounting ~alg ~seed inst in
+  let ds = Array.map (fun q -> decision_key (Engine.ingest e q)) trace in
+  (ds, outcome_of e)
+
+(* split [trace] into batches whose sizes are drawn from [rng] *)
+let partition_trace rng ~max_batch trace =
+  let steps = Array.length trace in
+  let rec go at acc =
+    if at >= steps then List.rev acc
+    else
+      let len = Stdlib.min (steps - at) (1 + Rng.int rng max_batch) in
+      go (at + len) (Array.sub trace at len :: acc)
+  in
+  go 0 []
+
+let with_domains d f =
+  Rbgp_util.Pool.set_domains (Some d);
+  Fun.protect f ~finally:(fun () -> Rbgp_util.Pool.set_domains None)
+
+(* batched == per-request, decision for decision, for every registry
+   algorithm (only onl-dynamic actually shards; the others take the
+   sequential fallback inside Simulator.prepare — same contract) *)
+let test_batched_matches_per_request () =
+  let n = 48 and ell = 4 and steps = 600 and seed = 31 in
+  let inst = Instance.blocks ~n ~ell in
+  let trace = gen_trace ~n ~steps ~seed:13 in
+  List.iter
+    (fun (spec : Registry.spec) ->
+      let alg = spec.Registry.name in
+      let expected_ds, expected = per_request_run ~alg ~seed inst trace in
+      List.iter
+        (fun domains ->
+          with_domains domains (fun () ->
+              let e = Engine.create ~sanitize:true ~alg ~seed inst in
+              let got_ds =
+                List.concat_map
+                  (fun batch ->
+                    Array.to_list
+                      (Array.map decision_key (Engine.ingest_batch e batch)))
+                  (partition_trace (Rng.create 7) ~max_batch:64 trace)
+              in
+              Alcotest.(check (list string))
+                (Printf.sprintf "%s decisions, %d domains" alg domains)
+                (Array.to_list expected_ds) got_ds;
+              check_outcome
+                (Printf.sprintf "%s outcome, %d domains" alg domains)
+                expected (outcome_of e)))
+        [ 1; 4 ])
+    Registry.all
+
+(* the prepared batch must be consumed strictly in order *)
+let test_prepare_rejects_out_of_order () =
+  let inst = Instance.blocks ~n:32 ~ell:4 in
+  let spec = Registry.find "onl-dynamic" in
+  let online = spec.Registry.build ~epsilon:0.5 ~seed:3 inst in
+  let st = Simulator.stepper inst online in
+  let play = Simulator.prepare st [| 0; 1; 2 |] in
+  Alcotest.check_raises "out-of-order play rejected"
+    (Invalid_argument "Simulator.prepare: requests must be played in order")
+    (fun () -> ignore (play 1))
+
+(* the satellite sweep: sharded vs sequential byte-identity of serve
+   records and final tables across every registry algorithm, random
+   domain counts, random batch partitions, and a mid-stream
+   checkpoint/resume cut at a random batch boundary *)
+let qcheck_sharded_identity =
+  let gen =
+    QCheck2.Gen.(
+      let* alg_idx = int_bound (List.length Registry.all - 1) in
+      let* seed = int_bound 10_000 in
+      let* wseed = int_bound 10_000 in
+      let* steps = int_range 20 250 in
+      let* domains = oneofl [ 1; 2; 3; 5 ] in
+      let* max_batch = oneofl [ 1; 3; 17; 64 ] in
+      let* pseed = int_bound 10_000 in
+      let* cut_frac = float_range 0.0 1.0 in
+      return (alg_idx, seed, wseed, steps, domains, max_batch, pseed, cut_frac))
+  in
+  qtest ~count:50
+    "qcheck: sharded batches + checkpoint cut == sequential, all algorithms"
+    gen
+    (fun (alg_idx, seed, wseed, steps, domains, max_batch, pseed, cut_frac) ->
+      let spec = List.nth Registry.all alg_idx in
+      let alg = spec.Registry.name in
+      let n = 40 and ell = 4 in
+      let inst = Instance.blocks ~n ~ell in
+      let trace = gen_trace ~n ~steps ~seed:wseed in
+      let expected_ds, expected = per_request_run ~alg ~seed inst trace in
+      let batches =
+        Array.of_list (partition_trace (Rng.create pseed) ~max_batch trace)
+      in
+      let cut = int_of_float (cut_frac *. float_of_int (Array.length batches)) in
+      let cut = Stdlib.min cut (Array.length batches) in
+      with_domains domains (fun () ->
+          let first = Engine.create ~alg ~seed inst in
+          let ds = ref [] in
+          let feed e batch =
+            Array.iter
+              (fun d -> ds := decision_key d :: !ds)
+              (Engine.ingest_batch e batch)
+          in
+          for b = 0 to cut - 1 do
+            feed first batches.(b)
+          done;
+          (* resume goes through explicit restore or (batched) prefix
+             replay, depending on the algorithm *)
+          let ckpt = Ckpt.of_string (Ckpt.to_string (Engine.checkpoint first)) in
+          let resumed = Engine.resume ckpt in
+          for b = cut to Array.length batches - 1 do
+            feed resumed batches.(b)
+          done;
+          let got = outcome_of resumed in
+          List.rev !ds = Array.to_list expected_ds
+          && got.comm = expected.comm && got.mig = expected.mig
+          && got.steps = expected.steps
+          && got.max_load = expected.max_load
+          && got.violations = expected.violations
+          && got.assignment = expected.assignment))
+
 (* --- trace codecs --------------------------------------------------- *)
 
 let with_temp ext f =
@@ -467,6 +596,14 @@ let () =
           Alcotest.test_case "file roundtrip + truncation" `Quick
             test_checkpoint_file_roundtrip;
           qcheck_checkpoint_resume;
+        ] );
+      ( "batched",
+        [
+          Alcotest.test_case "batched == per-request (all algs)" `Quick
+            test_batched_matches_per_request;
+          Alcotest.test_case "prepared batch is order-enforced" `Quick
+            test_prepare_rejects_out_of_order;
+          qcheck_sharded_identity;
         ] );
       ( "codec",
         [
