@@ -18,17 +18,21 @@ bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 # the bench run also writes the machine-readable trajectory file
-# (BENCH_4.json: component ns/run + r^2, per-experiment wall clock,
+# (BENCH_5.json: component ns/run + r^2, per-experiment wall clock,
 # parallel-vs-sequential speedup, serve-loop throughput + resume identity,
-# and the domains sweep for the interval-sharded batched request path);
-# this target validates it parses and enforces the measurement-fidelity
-# floor: any component whose fit has r^2 < 0.5 fails the build
+# the domains sweep for the interval-sharded batched request path, and
+# the zero-copy ingest section: mmap-vs-channel decode throughput and the
+# pull-to-solve pipeline with identity bits); this target validates it
+# parses and enforces the measurement-fidelity floor (any component fit
+# with r^2 < 0.5 fails) plus the ingest identity bits
 bench-json: bench
 	@python3 -c "import json, sys; \
-d = json.load(open('BENCH_4.json')); \
+d = json.load(open('BENCH_5.json')); \
 bad = [c for c in d['components'] if c['r2'] is None or c['r2'] < 0.5]; \
+ing = d['ingest']; \
+sys.exit('ingest decode/serve identity broken') if not (ing['decode_identical'] and ing['serve_identical']) else None; \
 sys.exit('components below the r^2 floor: ' + ', '.join(c['name'] for c in bad)) if bad else \
-print('BENCH_4.json: valid JSON, all %d component fits have r^2 >= 0.5' % len(d['components']))"
+print('BENCH_5.json: valid JSON, all %d component fits have r^2 >= 0.5, ingest identical (decode %.1fx)' % (len(d['components']), ing['decode_speedup']))"
 
 experiments:
 	dune exec bin/rbgp_cli.exe -- exp all | tee experiments_full.txt

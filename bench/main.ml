@@ -1,4 +1,4 @@
-(* The benchmark harness has three layers:
+(* The benchmark harness has four layers:
 
    1. component micro-benchmarks: one closure per component that the
       experiments exercise (smin gradients, couplings, MTS solver steps,
@@ -26,15 +26,25 @@
       for the large config; on a single-core box the honest local number
       hovers around 1.0 and only the identity bits are load-bearing.
 
-   Besides the human-readable tables the run writes BENCH_4.json next to
-   the current directory: the BENCH_3 sections (component ns/run + r^2,
+   4. the zero-copy ingest bench: block-decode throughput of the mmap'ed
+      region reader vs the buffered channel reader over the same framed
+      binary trace, the pull-to-solve pipeline (Source.next_batch feeding
+      Engine.ingest_batch_quiet) for a free solver (never-move, the
+      pipeline ceiling) and the real one (onl-dynamic, where the solve
+      dominates), and mmap-vs-channel identity bits down to byte-equal
+      checkpoints.  CI gates on decode_speedup >= 5, the never-move
+      pipeline >= 1M req/s, and both identity bits.
+
+   Besides the human-readable tables the run writes BENCH_5.json next to
+   the current directory: the BENCH_4 sections (component ns/run + r^2,
    wall-clock seconds per quick-mode experiment, parallel-vs-sequential
    comparisons for E8 and E10 with cold/warm speedups and byte-identity
-   checks, streaming-engine throughput with checkpoint/resume identity)
-   plus the new "domains_sweep" section.  The numeric suffix is the
-   bench-trajectory slot for this change set; BENCH_1..3.json are earlier
-   snapshots and later change sets append BENCH_5.json, ... so the files
-   form a machine-readable performance history of the repository. *)
+   checks, streaming-engine throughput with checkpoint/resume identity,
+   the "domains_sweep" section) plus the new "ingest" section.  The
+   numeric suffix is the bench-trajectory slot for this change set;
+   BENCH_1..4.json are earlier snapshots and later change sets append
+   BENCH_6.json, ... so the files form a machine-readable performance
+   history of the repository. *)
 
 let rng = Rbgp_util.Rng.create 20230717
 
@@ -565,10 +575,214 @@ let domains_sweep () =
   in
   List.concat_map sweep_config configs
 
-let write_bench_json ~components ~experiments ~parallel ~serve ~sweep =
-  let oc = open_out "BENCH_4.json" in
+(* --- ingest: the zero-copy mmap pipeline ----------------------------- *)
+
+type pipeline_point = {
+  pp_alg : string;
+  pp_batch : int;
+  pp_requests : int;
+  pp_rps : float;
+}
+
+type ingest_result = {
+  ing_requests : int;
+  ing_bytes : int;
+  ing_mmap_decode_rps : float;
+  ing_channel_decode_rps : float;
+  ing_decode_speedup : float;
+  ing_decode_identical : bool;
+  ing_pipeline : pipeline_point list;
+  ing_serve_identical : bool;
+}
+
+(* The BENCH_5 headline: the zero-copy ingest path from the issue.
+
+   (a) decode-only throughput of the two trace readers over the same
+       framed binary file — the block decoder over an mmap'ed region
+       ([Trace_codec.decode_requests_into], no syscalls, no per-byte
+       closures) vs the buffered channel reader ([input_request_opt],
+       one [input_byte] per varint byte).  Both sides fold the decoded
+       edges into count/xor/sum accumulators so the loops stay
+       allocation-free and the streams are checked equal.
+   (b) pull-to-solve pipeline throughput: [Source.next_batch] from the
+       mapped file feeding [Engine.ingest_batch_quiet] — the
+       `serve --no-decisions --mmap on` path.  never-move isolates the
+       pipeline itself (the solver does no work, like a router that only
+       accounts); onl-dynamic is the honest full-solver number, where
+       the ~us-per-request solve dominates and the source choice stops
+       mattering (EXPERIMENTS.md, ingest sweep).
+   (c) an identity bit: serving the same trace quietly from the mmap
+       and channel backends must yield byte-identical checkpoints and
+       equal final costs.
+
+   CI gates on decode_speedup >= 5, never-move pipeline >= 1M req/s and
+   both identity bits. *)
+let ingest_bench () =
+  let n = 4096 and ell = 32 in
+  let steps = 2_000_000 and id_steps = 120_000 in
+  let gen s =
+    match Rbgp_workloads.Workloads.rotating ~n ~steps:s (Rbgp_util.Rng.create 7) with
+    | Rbgp_ring.Trace.Fixed a -> a
+    | Rbgp_ring.Trace.Adaptive _ -> assert false
+  in
+  let path = Filename.temp_file "rbgp_bench_ingest" ".rbt" in
+  let id_path = Filename.temp_file "rbgp_bench_ingest_id" ".rbt" in
+  Fun.protect ~finally:(fun () ->
+      Sys.remove path;
+      Sys.remove id_path)
+  @@ fun () ->
+  Rbgp_workloads.Trace_codec.write ~path ~n ~ell ~seed:7 (gen steps);
+  Rbgp_workloads.Trace_codec.write ~path:id_path ~n ~ell ~seed:7 (gen id_steps);
+  let bytes = (Unix.stat path).Unix.st_size in
+  (* (a) decode-only: same stream digest on both sides *)
+  let block = Array.make 65536 0 in
+  let decode_mmap () =
+    let r = Rbgp_workloads.Trace_codec.map ~path path in
+    ignore (Rbgp_workloads.Trace_codec.header_of_region ~path r);
+    let count = ref 0 and acc = ref 0 and sum = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let got =
+        Rbgp_workloads.Trace_codec.decode_requests_into ~path r ~n block
+          ~limit:(Array.length block)
+      in
+      if got = 0 then continue := false
+      else begin
+        for j = 0 to got - 1 do
+          acc := !acc lxor block.(j);
+          sum := !sum + block.(j)
+        done;
+        count := !count + got
+      end
+    done;
+    (!count, !acc, !sum)
+  in
+  let decode_channel () =
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    ignore (Rbgp_workloads.Trace_codec.input_header ~path ic);
+    let count = ref 0 and acc = ref 0 and sum = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Rbgp_workloads.Trace_codec.input_request_opt ~path ic ~n with
+      | Some e ->
+          acc := !acc lxor e;
+          sum := !sum + e;
+          incr count
+      | None -> continue := false
+    done;
+    (!count, !acc, !sum)
+  in
+  (* page the file in once so both timed passes run against warm cache *)
+  ignore (decode_channel ());
+  let (mc, macc, msum), mdt = timed decode_mmap in
+  let (cc, cacc, csum), cdt = timed decode_channel in
+  (* cross-check the single-pull readers against the same digest too:
+     region_request_opt (mmap) and fold (channel) must agree with the
+     block decoder frame for frame *)
+  let decode_identical =
+    let r = Rbgp_workloads.Trace_codec.map ~path path in
+    ignore (Rbgp_workloads.Trace_codec.header_of_region ~path r);
+    let acc = ref 0 and sum = ref 0 and count = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Rbgp_workloads.Trace_codec.region_request_opt ~path r ~n with
+      | Some e ->
+          acc := !acc lxor e;
+          sum := !sum + e;
+          incr count
+      | None -> continue := false
+    done;
+    let _, (ca, cs, cn) =
+      Rbgp_workloads.Trace_codec.fold ~path ~n ~init:(0, 0, 0)
+        ~f:(fun (a, s, k) e -> (a lxor e, s + e, k + 1))
+    in
+    mc = steps && cc = steps && macc = cacc && msum = csum
+    && !count = steps && !acc = ca && !sum = cs && !count = cn
+    && !acc = macc && !sum = msum
+  in
+  let mmap_rps = float_of_int mc /. mdt
+  and chan_rps = float_of_int cc /. cdt in
+  Printf.printf
+    "ingest decode (%d reqs, %d bytes): mmap block %.0f req/s, channel \
+     %.0f req/s (%.1fx), streams %s\n"
+    steps bytes mmap_rps chan_rps (mmap_rps /. chan_rps)
+    (if decode_identical then "identical" else "DIVERGED");
+  (* (b) pull-to-solve pipeline: Source.next_batch -> ingest_batch_quiet *)
+  let sinst = Rbgp_ring.Instance.blocks ~n ~ell in
+  let pipeline ~alg ~batch ~requests tpath =
+    let engine = Rbgp_serve.Engine.create ~alg ~seed:42 sinst in
+    let src = Rbgp_serve.Source.open_file ~mmap:`On ~n tpath in
+    let buf = Array.make batch 0 in
+    let (), dt =
+      timed (fun () ->
+          let continue = ref true in
+          while !continue do
+            let got = Rbgp_serve.Source.next_batch src buf ~limit:batch in
+            if got = 0 then continue := false
+            else
+              Rbgp_serve.Engine.ingest_batch_quiet engine
+                (if got = batch then buf else Array.sub buf 0 got)
+          done)
+    in
+    Rbgp_serve.Source.close src;
+    assert (Rbgp_serve.Engine.pos engine = requests);
+    let rps = float_of_int requests /. dt in
+    Printf.printf
+      "ingest pipeline (mmap, quiet, n=%d ell=%d): %s batch=%d, %d reqs, \
+       %.0f req/s\n"
+      n ell alg batch requests rps;
+    { pp_alg = alg; pp_batch = batch; pp_requests = requests; pp_rps = rps }
+  in
+  let pipeline_points =
+    List.map
+      (fun batch -> pipeline ~alg:"never-move" ~batch ~requests:steps path)
+      [ 256; 1024; 4096 ]
+    @ [ pipeline ~alg:"onl-dynamic" ~batch:1024 ~requests:id_steps id_path ]
+  in
+  (* (c) mmap-vs-channel serve identity, checkpoints included *)
+  let quiet_ckpt mmap =
+    let engine = Rbgp_serve.Engine.create ~alg:"onl-dynamic" ~seed:42 sinst in
+    let src = Rbgp_serve.Source.open_file ~mmap ~n id_path in
+    let buf = Array.make 1024 0 in
+    let continue = ref true in
+    while !continue do
+      let got = Rbgp_serve.Source.next_batch src buf ~limit:1024 in
+      if got = 0 then continue := false
+      else
+        Rbgp_serve.Engine.ingest_batch_quiet engine
+          (if got = 1024 then buf else Array.sub buf 0 got)
+    done;
+    Rbgp_serve.Source.close src;
+    ( Rbgp_serve.Checkpoint.to_string (Rbgp_serve.Engine.checkpoint engine),
+      Rbgp_serve.Engine.result engine )
+  in
+  let mck, mres = quiet_ckpt `On and cck, cres = quiet_ckpt `Off in
+  let serve_identical =
+    String.equal mck cck
+    && mres.Rbgp_ring.Simulator.cost = cres.Rbgp_ring.Simulator.cost
+    && mres.Rbgp_ring.Simulator.max_load = cres.Rbgp_ring.Simulator.max_load
+  in
+  Printf.printf
+    "ingest serve identity (onl-dynamic, %d reqs): mmap vs channel \
+     checkpoints %s\n"
+    id_steps
+    (if serve_identical then "byte-identical" else "DIVERGED");
+  {
+    ing_requests = steps;
+    ing_bytes = bytes;
+    ing_mmap_decode_rps = mmap_rps;
+    ing_channel_decode_rps = chan_rps;
+    ing_decode_speedup = mmap_rps /. chan_rps;
+    ing_decode_identical = decode_identical;
+    ing_pipeline = pipeline_points;
+    ing_serve_identical = serve_identical;
+  }
+
+let write_bench_json ~components ~experiments ~parallel ~serve ~sweep ~ingest =
+  let oc = open_out "BENCH_5.json" in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"rbgp-bench/4\",\n";
+  out "{\n  \"schema\": \"rbgp-bench/5\",\n";
   out "  \"components\": [\n";
   List.iteri
     (fun i (name, ns, r2) ->
@@ -625,9 +839,28 @@ let write_bench_json ~components ~experiments ~parallel ~serve ~sweep =
         | None -> "null")
         (if i < List.length sweep - 1 then "," else ""))
     sweep;
-  out "  ]\n}\n";
+  out "  ],\n  \"ingest\": {\n";
+  out "    \"requests\": %d,\n    \"bytes\": %d,\n" ingest.ing_requests
+    ingest.ing_bytes;
+  out "    \"mmap_decode_rps\": %s,\n    \"channel_decode_rps\": %s,\n"
+    (json_num ingest.ing_mmap_decode_rps)
+    (json_num ingest.ing_channel_decode_rps);
+  out "    \"decode_speedup\": %s,\n    \"decode_identical\": %b,\n"
+    (json_num ingest.ing_decode_speedup)
+    ingest.ing_decode_identical;
+  out "    \"pipeline\": [\n";
+  List.iteri
+    (fun i p ->
+      out
+        "      {\"alg\": \"%s\", \"batch\": %d, \"requests\": %d, \
+         \"rps\": %s}%s\n"
+        (json_escape p.pp_alg) p.pp_batch p.pp_requests (json_num p.pp_rps)
+        (if i < List.length ingest.ing_pipeline - 1 then "," else ""))
+    ingest.ing_pipeline;
+  out "    ],\n    \"serve_identical\": %b\n  }\n}\n"
+    ingest.ing_serve_identical;
   close_out oc;
-  print_endline "wrote BENCH_4.json"
+  print_endline "wrote BENCH_5.json"
 
 let () =
   let components = run_benchmarks () in
@@ -651,7 +884,9 @@ let () =
   let serve = serve_bench () in
   print_newline ();
   let sweep = domains_sweep () in
-  write_bench_json ~components ~experiments ~parallel ~serve ~sweep;
+  print_newline ();
+  let ingest = ingest_bench () in
+  write_bench_json ~components ~experiments ~parallel ~serve ~sweep ~ingest;
   (* the fidelity gate: a component whose fit explains less than half the
      variance is a measurement failure, not a data point *)
   let low =

@@ -234,12 +234,12 @@ let accounting_conv =
     [ ("auto", `Auto); ("incremental", `Incremental); ("diff", `Diff);
       ("check", `Check) ]
 
-let open_source ~trace ~format ~n =
+let open_source ~trace ~format ~mmap ~n =
   match trace with
   | "-" ->
       let format = match format with `Auto -> `Text | (`Text | `Binary) as f -> f in
       Source.of_channel ~path:"<stdin>" ~format ~n stdin
-  | path -> Source.open_file ~format ~n path
+  | path -> Source.open_file ~format ~mmap ~n path
 
 (* The serving loop shared by [serve] and [resume]: pull requests until
    the source dries up (or --stop-after), emit one JSONL decision per
@@ -267,6 +267,9 @@ let serve_loop engine source ~decisions ~metrics_every ~checkpoint_path
     every > 0 && after / every > before / every
   in
   let buf = Array.make (Stdlib.max 1 batch) 0 in
+  (* full batches go to the engine without the defensive copy — on the
+     mmap source that makes the whole pull-to-solve path allocation-free *)
+  let batch_view got = if got = Array.length buf then buf else Array.sub buf 0 got in
   let served = ref 0 in
   let continue = ref true in
   while !continue do
@@ -278,27 +281,17 @@ let serve_loop engine source ~decisions ~metrics_every ~checkpoint_path
     in
     if want <= 0 then continue := false
     else begin
-      let got = ref 0 in
-      while
-        !got < want
-        &&
-        match Source.next source with
-        | Some e ->
-            buf.(!got) <- e;
-            incr got;
-            true
-        | None ->
-            continue := false;
-            false
-      do
-        ()
-      done;
-      if !got > 0 then begin
+      let got = Source.next_batch source buf ~limit:want in
+      if got = 0 then continue := false
+      else begin
         let before = Engine.pos engine in
-        let ds = Engine.ingest_batch engine (Array.sub buf 0 !got) in
-        served := !served + !got;
+        let edges = batch_view got in
         if decisions then
-          Array.iter (fun d -> print_endline (Engine.decision_to_json d)) ds;
+          Array.iter
+            (fun d -> print_endline (Engine.decision_to_json d))
+            (Engine.ingest_batch engine edges)
+        else Engine.ingest_batch_quiet engine edges;
+        served := !served + got;
         let after = Engine.pos engine in
         if crossed metrics_every ~before ~after then
           print_endline (Metrics.to_json m);
@@ -327,6 +320,18 @@ let format_arg =
         ~doc:
           "Trace format: auto (detect by magic bytes; text for stdin), text \
            (one edge per line) or bin (framed binary, see DESIGN.md).")
+
+let mmap_conv = Arg.enum [ ("auto", `Auto); ("on", `On); ("off", `Off) ]
+
+let mmap_arg =
+  Arg.(
+    value & opt mmap_conv `Auto
+    & info [ "mmap" ] ~docv:"MODE"
+        ~doc:
+          "Zero-copy trace replay: auto (default: mmap regular binary trace \
+           files, stream everything else), on (require the mmap path; fails \
+           on pipes), off (always stream through a channel).  Both paths \
+           produce identical decisions, costs and checkpoints.")
 
 let accounting_arg =
   Arg.(
@@ -398,14 +403,14 @@ let serve_cmd =
   let epsilon =
     Arg.(value & opt float 0.5 & info [ "epsilon" ] ~doc:"Augmentation slack.")
   in
-  let run alg n ell epsilon seed trace format accounting no_decisions
+  let run alg n ell epsilon seed trace format mmap accounting no_decisions
       metrics_every checkpoint_path checkpoint_every stop_after batch domains
       verbose =
     setup_logs verbose;
     Rbgp_util.Pool.set_domains domains;
     let inst = Rbgp_ring.Instance.blocks ~n ~ell in
     let engine = Engine.create ~accounting ~epsilon ~alg ~seed inst in
-    let source = open_source ~trace ~format ~n in
+    let source = open_source ~trace ~format ~mmap ~n in
     Fun.protect
       ~finally:(fun () -> Source.close source)
       (fun () ->
@@ -419,9 +424,9 @@ let serve_cmd =
           request, live metrics, optional rolling checkpoints.")
     Term.(
       const run $ alg_arg $ n $ ell $ epsilon $ seed_arg $ trace_arg
-      $ format_arg $ accounting_arg $ decisions_arg $ metrics_every_arg
-      $ checkpoint_path_arg $ checkpoint_every_arg $ stop_after_arg
-      $ batch_arg $ domains_arg $ verbose_arg)
+      $ format_arg $ mmap_arg $ accounting_arg $ decisions_arg
+      $ metrics_every_arg $ checkpoint_path_arg $ checkpoint_every_arg
+      $ stop_after_arg $ batch_arg $ domains_arg $ verbose_arg)
 
 let resume_cmd =
   let from_arg =
@@ -439,34 +444,45 @@ let resume_cmd =
              consume the already-served prefix first, verifying it matches \
              the checkpoint request for request.")
   in
-  let run from trace format accounting skip_prefix no_decisions metrics_every
-      checkpoint_path checkpoint_every stop_after batch domains verbose =
+  let run from trace format mmap accounting skip_prefix no_decisions
+      metrics_every checkpoint_path checkpoint_every stop_after batch domains
+      verbose =
     setup_logs verbose;
     Rbgp_util.Pool.set_domains domains;
     let ckpt = Ckpt.read ~path:from in
     let engine = Engine.resume ~accounting ckpt in
-    let source = open_source ~trace ~format ~n:ckpt.Ckpt.n in
+    let source = open_source ~trace ~format ~mmap ~n:ckpt.Ckpt.n in
     Fun.protect
       ~finally:(fun () -> Source.close source)
       (fun () ->
-        if skip_prefix then
-          Array.iteri
-            (fun i expected ->
-              match Source.next source with
-              | Some e when e = expected -> ()
-              | Some e ->
-                  failwith
-                    (Printf.sprintf
-                       "resume: trace diverges from checkpoint at request %d \
-                        (trace has %d, checkpoint served %d)"
-                       i e expected)
-              | None ->
-                  failwith
-                    (Printf.sprintf
-                       "resume: trace ends at request %d but the checkpoint \
-                        already served %d requests"
-                       i ckpt.Ckpt.pos))
-            ckpt.Ckpt.prefix;
+        (if skip_prefix then begin
+           (* verified in blocks: one next_batch pull per chunk instead of
+              one closure dispatch per already-served request *)
+           let prefix = ckpt.Ckpt.prefix in
+           let total = Array.length prefix in
+           let chunk = Array.make (Stdlib.min 8192 (Stdlib.max 1 total)) 0 in
+           let at = ref 0 in
+           while !at < total do
+             let want = Stdlib.min (Array.length chunk) (total - !at) in
+             let got = Source.next_batch source chunk ~limit:want in
+             if got = 0 then
+               failwith
+                 (Printf.sprintf
+                    "resume: trace ends at request %d but the checkpoint \
+                     already served %d requests"
+                    !at ckpt.Ckpt.pos);
+             for j = 0 to got - 1 do
+               if chunk.(j) <> prefix.(!at + j) then
+                 failwith
+                   (Printf.sprintf
+                      "resume: trace diverges from checkpoint at request %d \
+                       (trace has %d, checkpoint served %d)"
+                      (!at + j) chunk.(j)
+                      prefix.(!at + j))
+             done;
+             at := !at + got
+           done
+         end);
         serve_loop engine source ~decisions:(not no_decisions) ~metrics_every
           ~checkpoint_path ~checkpoint_every ~stop_after ~batch)
   in
@@ -477,8 +493,8 @@ let resume_cmd =
           the algorithm supports it, deterministic prefix replay \
           otherwise; both verified against the snapshot).")
     Term.(
-      const run $ from_arg $ trace_arg $ format_arg $ accounting_arg
-      $ skip_prefix_arg $ decisions_arg $ metrics_every_arg
+      const run $ from_arg $ trace_arg $ format_arg $ mmap_arg
+      $ accounting_arg $ skip_prefix_arg $ decisions_arg $ metrics_every_arg
       $ checkpoint_path_arg $ checkpoint_every_arg $ stop_after_arg
       $ batch_arg $ domains_arg $ verbose_arg)
 

@@ -7,6 +7,13 @@ module Metric = Rbgp_mts.Metric
 module Rng = Rbgp_util.Rng
 module Pool = Rbgp_util.Pool
 
+(* Packed edge routing: one int per edge holding both the owning interval
+   and the interval-local index, so the per-request lookup touches one
+   cache line instead of two.  31 bits for the local index leaves 31 for
+   the interval id — both bounded by n, far below either limit. *)
+let route_bits = 31
+let route_mask = (1 lsl route_bits) - 1
+
 type t = {
   inst : Instance.t;
   dec : Intervals.t;
@@ -14,8 +21,7 @@ type t = {
   cuts : int array;  (* global cut edge per interval *)
   cut_locals : int array;  (* the same cuts in interval-local coordinates *)
   bases : int array;  (* first global edge of each interval *)
-  iv_of_edge : int array;  (* global edge -> owning interval *)
-  local_of_edge : int array;  (* global edge -> local index in its interval *)
+  route_of_edge : int array;  (* global edge -> (interval lsl route_bits) lor local *)
   indicators : float array array;  (* reusable cost vector per interval *)
   assignment : Assignment.t;
   scratch_servers : int array;
@@ -83,14 +89,13 @@ let create ?shift ?(mts = Rbgp_mts.Smin_mw.solver) ~epsilon (inst : Instance.t)
   let bases = Array.init ell' (Intervals.base dec) in
   let cuts = Array.init ell' (fun i -> (bases.(i) + cut_locals.(i)) mod n) in
   (* O(1) request routing: interval widths sum to n, so one pass fills the
-     whole edge->interval map (replaces the O(ell') Intervals.locate scan
-     on the hot path) *)
-  let iv_of_edge = Array.make n 0 and local_of_edge = Array.make n 0 in
+     whole edge->route map (replaces the O(ell') Intervals.locate scan on
+     the hot path) *)
+  let route_of_edge = Array.make n 0 in
   for i = 0 to ell' - 1 do
     for local = 0 to Intervals.width dec i - 1 do
       let e = (bases.(i) + local) mod n in
-      iv_of_edge.(e) <- i;
-      local_of_edge.(e) <- local
+      route_of_edge.(e) <- (i lsl route_bits) lor local
     done
   done;
   let t =
@@ -101,8 +106,7 @@ let create ?shift ?(mts = Rbgp_mts.Smin_mw.solver) ~epsilon (inst : Instance.t)
       cuts;
       cut_locals;
       bases;
-      iv_of_edge;
-      local_of_edge;
+      route_of_edge;
       indicators =
         Array.init ell' (fun i -> Array.make (Intervals.width dec i) 0.0);
       assignment = Assignment.create inst;
@@ -160,8 +164,9 @@ let move_cut t i new_local =
 let serve t e =
   if e < 0 || e >= t.inst.Instance.n then
     invalid_arg "Dynamic_alg.serve: edge out of range";
-  let i = t.iv_of_edge.(e) in
-  move_cut t i (serve_local t i t.local_of_edge.(e))
+  let r = t.route_of_edge.(e) in
+  let i = r lsr route_bits in
+  move_cut t i (serve_local t i (r land route_mask))
 
 let ensure_batch_scratch t b =
   if Array.length t.batch_order < b then begin
@@ -192,7 +197,7 @@ let serve_batch t edges =
     let counts = t.shard_counts and offsets = t.shard_offsets in
     Array.fill counts 0 ell' 0;
     for j = 0 to b - 1 do
-      let i = t.iv_of_edge.(edges.(j)) in
+      let i = t.route_of_edge.(edges.(j)) lsr route_bits in
       counts.(i) <- counts.(i) + 1
     done;
     let nwork = ref 0 in
@@ -210,7 +215,7 @@ let serve_batch t edges =
     let fill = t.shard_fill in
     Array.blit offsets 0 fill 0 ell';
     for j = 0 to b - 1 do
-      let i = t.iv_of_edge.(edges.(j)) in
+      let i = t.route_of_edge.(edges.(j)) lsr route_bits in
       order.(fill.(i)) <- j;
       fill.(i) <- fill.(i) + 1
     done;
@@ -219,7 +224,7 @@ let serve_batch t edges =
       let stop = offsets.(i) + counts.(i) in
       for idx = offsets.(i) to stop - 1 do
         let j = order.(idx) in
-        locals.(j) <- serve_local t i t.local_of_edge.(edges.(j))
+        locals.(j) <- serve_local t i (t.route_of_edge.(edges.(j)) land route_mask)
       done
     in
     (* each worker touches only its claimed intervals' solvers, indicator
@@ -227,7 +232,8 @@ let serve_batch t edges =
        before the merge reads them.  The family estimate keeps small
        batches sequential automatically. *)
     ignore (Pool.map ~family:"dynalg.shard" run work);
-    fun j -> move_cut t (t.iv_of_edge.(edges.(j))) locals.(j)
+    fun j ->
+      move_cut t (t.route_of_edge.(edges.(j)) lsr route_bits) locals.(j)
   end
 
 let online t =

@@ -296,13 +296,88 @@ let toplevel_mutable_findings ~path (str : Parsetree.structure) =
   structure str;
   !acc
 
+(* --- R8: hot-IO hygiene ----------------------------------------------- *)
+
+(* The audited hot-IO modules: every byte of the ingest path flows through
+   these, so a per-byte channel read or a closure allocated inside a
+   serving loop is a real per-request cost (the difference between the
+   channel and mmap decode rates in BENCH_5), not a style nit.  The
+   channel fallback for pipes and stdin legitimately reads byte-wise —
+   those sites carry founding allowlist entries with the justification
+   written down. *)
+let hot_io_file_suffixes = [ "lib/ring/trace.ml"; "lib/util/binc.ml" ]
+
+let is_hot_io path =
+  let p = Finding.normalize_path path in
+  let suffixed suf =
+    let lp = String.length p and ls = String.length suf in
+    lp >= ls && String.equal (String.sub p (lp - ls) ls) suf
+  in
+  (match scope_of_path p with
+  | { area = `Lib; sublib = Some "serve" } -> true
+  | _ -> false)
+  || List.exists suffixed hot_io_file_suffixes
+
+let hot_io_findings ~path (str : Parsetree.structure) =
+  let acc = ref [] in
+  let add ~loc message =
+    acc :=
+      Finding.of_location ~rule:"r8-hot-io" ~severity:Finding.Error ~file:path
+        loc message
+      :: !acc
+  in
+  (* loop_depth > 0 <=> the iterator is inside a while/for body; a closure
+     allocated there is (re)built on every iteration *)
+  let loop_depth = ref 0 in
+  let expr (self : Ast_iterator.iterator) (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt; loc } ->
+        (match ident_path txt with
+        | [ ("input_byte" | "input_char") as f ] ->
+            add ~loc
+              (Printf.sprintf
+                 "per-byte channel read (%s) in an audited hot-IO module; \
+                  decode in blocks (Binc.decode_varints over an mmap \
+                  region) or justify the channel fallback in the allowlist"
+                 f)
+        | _ -> ())
+    | Parsetree.Pexp_while (cond, body) ->
+        self.Ast_iterator.expr self cond;
+        incr loop_depth;
+        self.Ast_iterator.expr self body;
+        decr loop_depth
+    | Parsetree.Pexp_for (_, lo, hi, _, body) ->
+        self.Ast_iterator.expr self lo;
+        self.Ast_iterator.expr self hi;
+        incr loop_depth;
+        self.Ast_iterator.expr self body;
+        decr loop_depth
+    | (Parsetree.Pexp_fun _ | Parsetree.Pexp_function _)
+      when !loop_depth > 0 ->
+        add ~loc:e.Parsetree.pexp_loc
+          "closure allocated inside a hot loop body; hoist it out of the \
+           loop (reuse one closure or inline the call) or justify the \
+           allocation in the allowlist";
+        (* one finding per closure, not per curried parameter: scan the
+           body as if at top level (a loop inside it re-arms the check) *)
+        let saved = !loop_depth in
+        loop_depth := 0;
+        Ast_iterator.default_iterator.Ast_iterator.expr self e;
+        loop_depth := saved
+    | _ -> Ast_iterator.default_iterator.Ast_iterator.expr self e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.Ast_iterator.structure it str;
+  !acc
+
 (* --- entry points ----------------------------------------------------- *)
 
 let check_structure ~path (str : Parsetree.structure) =
   let scope = scope_of_path path in
   let exprs = expression_findings ~path ~scope str in
   let globals = if is_lib scope then toplevel_mutable_findings ~path str else [] in
-  exprs @ globals
+  let hot_io = if is_hot_io path then hot_io_findings ~path str else [] in
+  exprs @ globals @ hot_io
 
 (* Interfaces carry no expressions, so only parse errors (reported by the
    engine) apply today; kept as a hook for future signature rules. *)
@@ -352,5 +427,11 @@ let descriptions =
       "no Domain API use or pool job submission in lib/ outside the \
        audited Domain-safety allowlist — nested parallelism deadlocks \
        and schedule-dependent state hide behind unaudited call sites" );
+    ( "r8-hot-io",
+      "no per-byte channel reads (input_byte / input_char) and no closure \
+       allocation inside loop bodies in the audited hot-IO modules \
+       (lib/serve, lib/ring/trace.ml, lib/util/binc.ml) — the ingest path \
+       decodes in blocks; the channel fallback is allowlisted with its \
+       justification" );
     ("parse-error", "file must parse with the OCaml 5.1 grammar");
   ]

@@ -16,7 +16,12 @@
     - [r6-missing-mli] — lib/ modules without an interface file.
     - [r7-domain-safety] — [Domain.*] API use or pool job submission
       ([...Pool.*]) in lib/ modules not on the audited Domain-safety
-      allowlist. *)
+      allowlist.
+    - [r8-hot-io] — per-byte channel reads ([input_byte]/[input_char])
+      and closures allocated inside [while]/[for] bodies in the audited
+      hot-IO modules (lib/serve, lib/ring/trace.ml, lib/util/binc.ml);
+      the channel fallback for pipes is allowlisted with its
+      justification. *)
 
 type scope = { area : [ `Lib | `Bin | `Bench | `Other ]; sublib : string option }
 

@@ -4,6 +4,12 @@ type t = {
   inst : Instance.t;
   map : int array;
   loads : int array;
+  (* hist.(v) = number of servers whose load is exactly v; together with
+     the cached maximum this turns max-load and capacity checks into O(1)
+     reads on the serving hot path instead of an O(ell) rescan per
+     request. *)
+  hist : int array;
+  mutable maxl : int;
   mutable jrn : journal option;
 }
 
@@ -16,14 +22,43 @@ let of_array (inst : Instance.t) a =
         invalid_arg "Assignment.of_array: server id out of range";
       loads.(s) <- loads.(s) + 1)
     a;
-  { inst; map = Array.copy a; loads; jrn = None }
+  let hist = Array.make (inst.n + 1) 0 in
+  let maxl = ref 0 in
+  Array.iter
+    (fun l ->
+      hist.(l) <- hist.(l) + 1;
+      if l > !maxl then maxl := l)
+    loads;
+  { inst; map = Array.copy a; loads; hist; maxl = !maxl; jrn = None }
 
 let create (inst : Instance.t) = of_array inst inst.initial
 
 (* copies never inherit the journal: they are snapshots (simulator shadows),
    not live algorithm state *)
 let copy t =
-  { inst = t.inst; map = Array.copy t.map; loads = Array.copy t.loads; jrn = None }
+  {
+    inst = t.inst;
+    map = Array.copy t.map;
+    loads = Array.copy t.loads;
+    hist = Array.copy t.hist;
+    maxl = t.maxl;
+    jrn = None;
+  }
+
+(* Move one unit of load from [old_s] to [s] (distinct servers), keeping
+   the load histogram and cached maximum in sync.  When the old load was
+   the unique maximum, the donor itself now sits at [maxl - 1], so the new
+   maximum is exactly one below — no rescan needed. *)
+let move_load t old_s s =
+  let la = t.loads.(old_s) and lb = t.loads.(s) in
+  t.loads.(old_s) <- la - 1;
+  t.loads.(s) <- lb + 1;
+  t.hist.(la) <- t.hist.(la) - 1;
+  t.hist.(la - 1) <- t.hist.(la - 1) + 1;
+  t.hist.(lb) <- t.hist.(lb) - 1;
+  t.hist.(lb + 1) <- t.hist.(lb + 1) + 1;
+  if lb + 1 > t.maxl then t.maxl <- lb + 1
+  else if la = t.maxl && t.hist.(la) = 0 then t.maxl <- la - 1
 
 let journal t =
   match t.jrn with
@@ -59,22 +94,17 @@ let set t p s =
   let old = t.map.(p) in
   if old <> s then begin
     t.map.(p) <- s;
-    t.loads.(old) <- t.loads.(old) - 1;
-    t.loads.(s) <- t.loads.(s) + 1;
+    move_load t old s;
     match t.jrn with None -> () | Some j -> journal_push j p
   end
 
 let load t s = t.loads.(s)
 let loads t = Array.copy t.loads
-
-let max_load t =
-  let m = ref 0 in
-  Array.iter (fun l -> if l > !m then m := l) t.loads;
-  !m
+let max_load t = t.maxl
 
 let check_capacity t ~augmentation =
   let bound = (augmentation *. float_of_int t.inst.Instance.k) +. 1e-9 in
-  Array.for_all (fun load -> float_of_int load <= bound) t.loads
+  float_of_int t.maxl <= bound
 
 let cuts_edge t e =
   let n = t.inst.Instance.n in
@@ -103,8 +133,7 @@ let diff_into target scratch =
       incr d;
       let old = scratch.map.(p) in
       scratch.map.(p) <- target.map.(p);
-      scratch.loads.(old) <- scratch.loads.(old) - 1;
-      scratch.loads.(target.map.(p)) <- scratch.loads.(target.map.(p)) + 1
+      move_load scratch old target.map.(p)
     end
   done;
   !d

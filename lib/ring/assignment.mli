@@ -49,11 +49,16 @@ val set : t -> int -> int -> unit
 
 val load : t -> int -> int
 val loads : t -> int array
+
 val max_load : t -> int
+(** O(1): the assignment maintains a load-value histogram and a cached
+    maximum across every mutation, so hot-path accounting never rescans
+    the [ell] servers. *)
 
 val check_capacity : t -> augmentation:float -> bool
 (** Every load at most [augmentation * k] (integer floor comparison is
-    deliberately avoided: the bound is [load <= augmentation * k + 1e-9]). *)
+    deliberately avoided: the bound is [load <= augmentation * k + 1e-9]).
+    O(1) — see {!max_load}. *)
 
 val cuts_edge : t -> int -> bool
 (** Does edge [(e, e+1 mod n)] cross servers? *)

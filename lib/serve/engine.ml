@@ -170,6 +170,37 @@ let ingest_batch t edges =
     Array.mapi (fun j e -> ingest_step t e (fun () -> play j)) edges
   end
 
+(* The no-decision fast path: same accounting, replay prefix and
+   checkpoint-observable state as [ingest_batch], but two clock reads and
+   one aggregate metrics record per *batch* instead of per request, and no
+   decision records allocated — the dominant per-request overheads once
+   the solver itself is cheap (see the BENCH_5 ingest section).  The
+   sanitizer needs per-request before/after scalars, so sanitizing
+   engines keep the checked path. *)
+let ingest_batch_quiet t edges =
+  let b = Array.length edges in
+  if b = 0 then ()
+  else if t.sanitize then ignore (ingest_batch t edges)
+  else begin
+    let prev = Simulator.stepper_result t.stepper in
+    (* capture scalars: the stepper's cost record is mutated in place *)
+    let prev_comm = prev.Simulator.cost.Cost.comm
+    and prev_mig = prev.Simulator.cost.Cost.mig in
+    let t0 = now_ns () in
+    let play = Simulator.prepare t.stepper edges in
+    for j = 0 to b - 1 do
+      ignore (play j);
+      push_prefix t edges.(j);
+      t.pos <- t.pos + 1
+    done;
+    let latency_ns = now_ns () - t0 in
+    let r = Simulator.stepper_result t.stepper in
+    Metrics.observe_batch t.metrics ~count:b ~latency_ns
+      ~comm:(r.Simulator.cost.Cost.comm - prev_comm)
+      ~mig:(r.Simulator.cost.Cost.mig - prev_mig)
+      ~max_load:r.Simulator.max_load
+  end
+
 let pos t = t.pos
 let result t = Simulator.stepper_result t.stepper
 let assignment t = Assignment.to_array (t.online.Online.assignment ())

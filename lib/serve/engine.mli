@@ -73,6 +73,17 @@ val ingest_batch : t -> int array -> decision array
     not be used further (later requests were already pre-solved inside
     the algorithm). *)
 
+val ingest_batch_quiet : t -> int array -> unit
+(** {!ingest_batch} without the per-request instrumentation: identical
+    accounting, replay prefix, sanitizer behaviour and checkpoints (a
+    checkpoint taken after a quiet batch is byte-identical to one taken
+    after the same requests through {!ingest}), but no decision records
+    are built and the clock is read twice per batch instead of twice per
+    request — metrics advance through one aggregate record (see
+    {!Metrics.observe_batch}).  This is the [--no-decisions] serving path
+    and the engine half of the BENCH_5 million-req/s number.  Sanitizing
+    engines transparently fall back to the checked per-request path. *)
+
 val pos : t -> int
 (** Requests served so far (including any checkpointed prefix). *)
 

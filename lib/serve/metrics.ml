@@ -45,6 +45,22 @@ let observe t ~latency_ns ~comm ~moved ~max_load =
   if max_load > t.max_load then t.max_load <- max_load;
   t.lat_sum_ns <- t.lat_sum_ns +. float_of_int latency_ns
 
+(* Aggregate record for the engine's quiet batch path: [count] requests
+   that together took [latency_ns] and charged [comm]/[mig].  Per-request
+   timestamps were never taken — that is the point of the quiet path — so
+   the histogram gets [count] entries at the batch's mean latency. *)
+let observe_batch t ~count ~latency_ns ~comm ~mig ~max_load =
+  if count > 0 then begin
+    let latency_ns = max 0 latency_ns in
+    let b = bucket_of (latency_ns / count) in
+    t.buckets.(b) <- t.buckets.(b) + count;
+    t.requests <- t.requests + count;
+    t.comm <- t.comm + comm;
+    t.mig <- t.mig + mig;
+    if max_load > t.max_load then t.max_load <- max_load;
+    t.lat_sum_ns <- t.lat_sum_ns +. float_of_int latency_ns
+  end
+
 let requests t = t.requests
 let comm t = t.comm
 let mig t = t.mig

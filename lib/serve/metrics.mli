@@ -27,6 +27,15 @@ val observe : t -> latency_ns:int -> comm:int -> moved:int -> max_load:int -> un
     (0/1) and migrations charged for it, and the cumulative maximum load
     after it. *)
 
+val observe_batch :
+  t -> count:int -> latency_ns:int -> comm:int -> mig:int -> max_load:int -> unit
+(** Record [count] requests served as one quiet batch (see
+    {!Engine.ingest_batch_quiet}): [latency_ns] is the whole batch's
+    wall-clock time and [comm]/[mig] its total charges.  Counters advance
+    exactly as [count] {!observe} calls would; the latency histogram
+    records the batch {e mean} for each request, so quantiles reflect
+    batch-level, not per-request, variation.  No-op when [count = 0]. *)
+
 val requests : t -> int
 val comm : t -> int
 val mig : t -> int

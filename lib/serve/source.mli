@@ -2,32 +2,70 @@
     stdin, in either the text ({!Rbgp_workloads.Trace_io}) or framed
     binary ({!Rbgp_workloads.Trace_codec}) format.
 
-    A source yields one validated edge per {!next} call and [None] at a
-    clean end-of-stream, so the serving loop never materializes the trace
-    — requests can keep arriving for as long as the producer lives. *)
+    A source yields one validated edge per {!next} call — or a whole
+    block per {!next_batch} call — and reports a clean end-of-stream, so
+    the serving loop never materializes the trace.
+
+    Regular binary trace files are mmap'ed by default (see {!open_file}):
+    requests are block-decoded straight out of the mapped bytes with no
+    per-byte closure calls, no read syscalls and no intermediate copies —
+    the zero-copy ingest path behind the BENCH_5 numbers.  Pipes, stdin
+    and text traces use the buffered channel readers; both backends
+    produce identical request streams and identical errors (the qcheck
+    parity suite in [test_util] covers the decoders frame for frame). *)
 
 type t
 
 type format = [ `Auto | `Text | `Binary ]
 
-val of_channel :
-  ?path:string -> format:[ `Text | `Binary ] -> n:int -> in_channel -> t
-(** Wrap an already-open channel (e.g. stdin).  For [`Binary] the framed
-    header is read and validated against [n] immediately.  [`Auto] is not
-    available here: distinguishing the formats requires a peek the channel
-    cannot take back. *)
+type mmap = [ `Auto | `On | `Off ]
+(** [`Auto] maps regular, non-empty binary files and falls back to the
+    channel reader otherwise; [`On] requires the mmap path (raises when
+    the file cannot be mapped); [`Off] always streams through a channel. *)
 
-val open_file : ?format:format -> n:int -> string -> t
-(** Open a trace file; [`Auto] (default) detects the binary magic.  The
-    caller must {!close}. *)
+val of_channel :
+  ?path:string ->
+  ?owns_channel:bool ->
+  format:[ `Text | `Binary ] ->
+  n:int ->
+  in_channel ->
+  t
+(** Wrap an already-open channel (e.g. stdin).  For [`Binary] the framed
+    header is read and validated against [n] immediately; both a header
+    parse failure and an [n] mismatch raise [Invalid_argument] naming the
+    source's path (default ["<channel>"]), and close the channel first
+    when [owns_channel] is [true] (default [false]: the caller keeps
+    responsibility for a channel it handed in).  [`Auto] is not available
+    here: distinguishing the formats requires a peek the channel cannot
+    take back. *)
+
+val open_file : ?format:format -> ?mmap:mmap -> n:int -> string -> t
+(** Open a trace file; [`Auto] (default) detects the binary magic.  With
+    [mmap:`Auto] (default) a regular binary file is mapped read-only and
+    served through the block decoder.  Construction failures never leak
+    the underlying descriptor.  The caller must {!close}. *)
 
 val next : t -> int option
 (** The next request, validated against [n]; raises [Invalid_argument]
     (naming the path) on malformed input. *)
 
+val next_batch : t -> int array -> limit:int -> int
+(** [next_batch t dst ~limit] fills [dst.(0 ..)] with up to [limit]
+    requests and returns how many were delivered; [0] only at a clean
+    end-of-stream.  On the mmap backend this is one block decode; on a
+    channel it loops {!next} (and therefore blocks until [limit] requests
+    arrive or the stream ends).  Complete frames before a torn tail are
+    delivered, then the next call raises — identical to calling {!next}
+    repeatedly.  Raises [Invalid_argument] when [limit] is outside
+    [0 .. Array.length dst]. *)
+
 val header : t -> Rbgp_workloads.Trace_codec.header option
 (** The binary header, when the source is framed. *)
 
+val kind : t -> [ `Mmap | `Channel ]
+(** Which backend this source resolved to (e.g. for logging and tests). *)
+
 val close : t -> unit
 (** Closes the underlying channel if this source owns it (i.e. was opened
-    by {!open_file}); no-op otherwise. *)
+    by {!open_file}); no-op otherwise.  Mapped regions are reclaimed by
+    the GC. *)

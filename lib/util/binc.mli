@@ -34,6 +34,51 @@ val at_end : reader -> bool
 (** All [read_*] functions raise [Invalid_argument] on truncated input or
     varints longer than 63 bits. *)
 
+(** {2 Block decoding over byte regions}
+
+    The zero-copy counterpart of the channel readers: a {!region} is a
+    cursor over a [Bigarray]-backed byte range (typically an [mmap]ed
+    trace file, see {!Rbgp_workloads.Trace_codec}), and {!decode_varints}
+    decodes whole blocks of varints out of it in one tight loop — no
+    per-byte closure calls, no intermediate copies. *)
+
+type bigbytes =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type region
+(** A mutable cursor over an immutable byte range. *)
+
+val region : ?pos:int -> bigbytes -> region
+(** View the whole array (from [pos], default 0) as a region. *)
+
+val region_of_string : string -> region
+(** Copies the string into a fresh bigarray — for tests and small inputs;
+    the mmap path never goes through this. *)
+
+val region_pos : region -> int
+val region_length : region -> int
+val region_at_end : region -> bool
+
+val region_read_string : region -> int -> string
+(** Read exactly [len] bytes; raises [Invalid_argument] when fewer remain. *)
+
+val region_read_varint : region -> int
+(** One varint at the cursor.  Raises [Invalid_argument] on a varint that
+    runs past the region end (a torn frame — the region is the whole
+    input, so there is no more data coming) or past 63 bits. *)
+
+val region_read_zigzag : region -> int
+
+val decode_varints : region -> int array -> limit:int -> int
+(** [decode_varints r out ~limit] bulk-decodes up to [limit] varints into
+    [out.(0 ..)], returning how many were decoded and advancing the cursor
+    past them.  Returns [0] only at a clean end of region.  A torn varint
+    at the region end is left unconsumed while the completed frames before
+    it are delivered; the {e next} call then raises [Invalid_argument] —
+    exactly the complete-frames-then-raise behaviour of the channel
+    reader, so the two paths report corruption at the same request index.
+    Raises [Invalid_argument] on [limit] outside [0 .. length out]. *)
+
 val output_varint : out_channel -> int -> unit
 val output_zigzag : out_channel -> int -> unit
 

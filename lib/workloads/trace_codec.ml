@@ -42,6 +42,76 @@ let input_request_opt ?path ic ~n =
       Some e
   | exception Invalid_argument _ -> fail ?path "torn frame (truncated varint)"
 
+(* --- zero-copy region path (mmap) ------------------------------------- *)
+
+let map ?path:path_label path =
+  let label = match path_label with Some p -> p | None -> path in
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  match
+    Bigarray.array1_of_genarray
+      (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |])
+  with
+  | big ->
+      (* the mapping outlives the descriptor *)
+      Unix.close fd;
+      Binc.region big
+  | exception e ->
+      Unix.close fd;
+      (match e with
+      | Unix.Unix_error (err, _, _) ->
+          fail ~path:label "cannot mmap: %s" (Unix.error_message err)
+      | e -> raise e)
+
+(* Only regular, non-empty files are worth mapping: pipes and sockets
+   cannot be mmap'ed at all, and a zero-length mapping is rejected by the
+   kernel while the channel path already reports "missing magic" for it. *)
+let can_map ~path =
+  match Unix.stat path with
+  | { Unix.st_kind = Unix.S_REG; st_size; _ } -> st_size > 0
+  | _ -> false
+  | exception Unix.Unix_error _ -> false
+
+let header_of_region ?path r =
+  let m =
+    try Binc.region_read_string r (String.length magic)
+    with Invalid_argument _ ->
+      fail ?path "missing magic (file shorter than %d bytes)"
+        (String.length magic)
+  in
+  if m <> magic then
+    fail ?path "bad magic %S (expected %S — not a binary trace?)" m magic;
+  let v = Binc.region_read_varint r in
+  if v <> version then fail ?path "unsupported format version %d" v;
+  let n = Binc.region_read_varint r in
+  if n <= 0 then fail ?path "header n = %d is not positive" n;
+  let ell = Binc.region_read_varint r in
+  let seed = Binc.region_read_zigzag r in
+  { version = v; n; ell; seed }
+
+(* Bulk frame decode + validation, the hot half of the mmap ingest path:
+   one block-decoder call, one branch-per-request validation scan, no
+   allocation.  Torn-tail behaviour mirrors [input_request_opt] frame for
+   frame (see Binc.decode_varints). *)
+let decode_requests_into ?path r ~n out ~limit =
+  let got =
+    try Binc.decode_varints r out ~limit
+    with Invalid_argument _ -> fail ?path "torn frame (truncated varint)"
+  in
+  for j = 0 to got - 1 do
+    let e = out.(j) in
+    if e < 0 || e >= n then fail ?path "edge %d out of [0, %d)" e n
+  done;
+  got
+
+let region_request_opt ?path r ~n =
+  if Binc.region_at_end r then None
+  else
+    match Binc.region_read_varint r with
+    | e ->
+        if e < 0 || e >= n then fail ?path "edge %d out of [0, %d)" e n;
+        Some e
+    | exception Invalid_argument _ -> fail ?path "torn frame (truncated varint)"
+
 let write ~path ~n ?(ell = 0) ?(seed = 0) trace =
   let oc = open_out_bin path in
   Fun.protect
@@ -73,9 +143,41 @@ let fold ~path ~n ~init ~f =
       done;
       (header, !acc))
 
-let read ~path ~n =
+let read_channel ~path ~n =
   let _, acc = fold ~path ~n ~init:[] ~f:(fun acc e -> e :: acc) in
   Array.of_list (List.rev acc)
+
+let read ~path ~n =
+  match map path with
+  | exception Unix.Unix_error _ -> read_channel ~path ~n
+  | exception Invalid_argument _ ->
+      (* unmappable (pipe, special file): the channel path owns the error *)
+      read_channel ~path ~n
+  | r ->
+      let header = header_of_region ~path r in
+      if header.n <> n then
+        fail ~path "header n = %d does not match expected n = %d" header.n n;
+      let block_len = 65536 in
+      let block = Array.make block_len 0 in
+      let buf = ref (Array.make block_len 0) in
+      let len = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let got = decode_requests_into ~path r ~n block ~limit:block_len in
+        if got = 0 then continue := false
+        else begin
+          if !len + got > Array.length !buf then begin
+            let bigger =
+              Array.make (Stdlib.max (2 * Array.length !buf) (!len + got)) 0
+            in
+            Array.blit !buf 0 bigger 0 !len;
+            buf := bigger
+          end;
+          Array.blit block 0 !buf !len got;
+          len := !len + got
+        end
+      done;
+      Array.sub !buf 0 !len
 
 let read_header ~path = with_in path (fun ic -> input_header ~path ic)
 

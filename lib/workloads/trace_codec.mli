@@ -37,6 +37,44 @@ val input_request_opt : ?path:string -> in_channel -> n:int -> int option
 (** Next framed request, validated against [n]; [None] at clean
     end-of-stream. *)
 
+(** {2 Zero-copy region path}
+
+    The mmap counterpart of the channel readers: {!map} maps a trace file
+    read-only into a {!Rbgp_util.Binc.region}, {!header_of_region} parses
+    the frame header out of it, and {!decode_requests_into} bulk-decodes
+    and validates whole blocks of requests — the hot loop behind
+    [Source.next_batch].  Decode errors and torn tails raise
+    [Invalid_argument] naming the path, frame for frame like the channel
+    readers (the qcheck parity suite in [test_util] pins this down). *)
+
+val can_map : path:string -> bool
+(** Is the file a regular, non-empty file — i.e. will {!map} work?  Pipes,
+    sockets, devices and empty files answer [false] (a zero-length mmap is
+    rejected by the kernel; the channel path reports the empty file as
+    "missing magic" instead). *)
+
+val map : ?path:string -> string -> Rbgp_util.Binc.region
+(** [map path] maps the file read-only ([Unix.map_file] behind a private
+    mapping) and returns a region over its bytes; the file descriptor is
+    closed before returning.  Raises [Invalid_argument] (naming [?path],
+    default the file path) when the file cannot be mapped — pipes and
+    other non-regular files — and [Unix.Unix_error] when it cannot be
+    opened at all. *)
+
+val header_of_region : ?path:string -> Rbgp_util.Binc.region -> header
+
+val decode_requests_into :
+  ?path:string -> Rbgp_util.Binc.region -> n:int -> int array -> limit:int -> int
+(** Bulk-decode up to [limit] requests into the array, validating each
+    against [n]; returns how many were decoded, [0] only at a clean end
+    of region.  Complete frames before a torn tail are delivered; the
+    next call raises. *)
+
+val region_request_opt :
+  ?path:string -> Rbgp_util.Binc.region -> n:int -> int option
+(** Single-request pull from a region — [input_request_opt] for the mmap
+    path. *)
+
 val write :
   path:string -> n:int -> ?ell:int -> ?seed:int -> int array -> unit
 

@@ -150,6 +150,39 @@ let test_r7 () =
   check_clean "unrelated module members are clean" "r7-domain-safety"
     ~path:"lib/ring/fake.ml" "let f x = Array.length x + Int.abs x"
 
+(* --- R8: hot-IO hygiene ------------------------------------------------ *)
+
+let test_r8 () =
+  check_flags "input_byte in lib/serve flagged" "r8-hot-io"
+    ~path:"lib/serve/fake.ml" "let f ic = input_byte ic";
+  check_flags "Stdlib.input_char in binc flagged" "r8-hot-io"
+    ~path:"lib/util/binc.ml" "let f ic = Stdlib.input_char ic";
+  check_flags "input_byte in the trace recorder flagged" "r8-hot-io"
+    ~path:"lib/ring/trace.ml" "let f ic = input_byte ic";
+  check_flags "closure built in a while body flagged" "r8-hot-io"
+    ~path:"lib/serve/fake.ml"
+    "let f xs = while !xs > 0 do ignore (List.map (fun x -> x) []) done";
+  check_flags "closure built in a for body flagged" "r8-hot-io"
+    ~path:"lib/serve/fake.ml"
+    "let f n a = for i = 0 to n do ignore (Array.init i (fun j -> a + j)) \
+     done";
+  (Alcotest.check Alcotest.int)
+    "curried closure in a loop is one finding, not one per parameter" 1
+    (count "r8-hot-io" ~path:"lib/serve/fake.ml"
+       "let f n = for _ = 0 to n do ignore (fun a b c -> a + b + c) done");
+  check_clean "input_byte outside the audited modules is clean" "r8-hot-io"
+    ~path:"lib/workloads/fake.ml" "let f ic = input_byte ic";
+  check_clean "input_byte in bin/ is clean" "r8-hot-io" ~path:"bin/fake.ml"
+    "let f ic = input_byte ic";
+  check_clean "closure outside a loop is clean" "r8-hot-io"
+    ~path:"lib/serve/fake.ml" "let f xs = List.map (fun x -> x + 1) xs";
+  check_clean "loop without closures is clean" "r8-hot-io"
+    ~path:"lib/serve/fake.ml"
+    "let f a = for i = 0 to Array.length a - 1 do a.(i) <- i done";
+  check_clean "closure containing a loop is clean" "r8-hot-io"
+    ~path:"lib/serve/fake.ml"
+    "let f a = Array.iter (fun x -> for _ = 0 to x do ignore x done) a"
+
 (* --- parse errors ------------------------------------------------------ *)
 
 let test_parse_error () =
@@ -324,6 +357,7 @@ let () =
           Alcotest.test_case "r5 catch-all handlers" `Quick test_r5;
           Alcotest.test_case "r6 missing interfaces" `Quick test_r6;
           Alcotest.test_case "r7 domain safety" `Quick test_r7;
+          Alcotest.test_case "r8 hot-IO hygiene" `Quick test_r8;
           Alcotest.test_case "parse errors are findings" `Quick
             test_parse_error;
         ] );

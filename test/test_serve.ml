@@ -504,6 +504,145 @@ let test_source_binary_and_text_agree () =
           Alcotest.(check (array int)) "binary source" trace from_bin;
           Alcotest.(check (array int)) "text source" trace from_txt))
 
+let test_source_mmap_kinds () =
+  let n = 64 in
+  let trace = gen_trace ~n ~steps:50 ~seed:5 in
+  with_temp ".rbt" (fun bin ->
+      with_temp ".txt" (fun txt ->
+          Trace_codec.write ~path:bin ~n ~ell:8 ~seed:5 trace;
+          Trace_io.save ~path:txt trace;
+          let kind_of ?format ?mmap path =
+            let src = Source.open_file ?format ?mmap ~n path in
+            let k = Source.kind src in
+            Source.close src;
+            k
+          in
+          let pp_kind = function `Mmap -> "mmap" | `Channel -> "channel" in
+          let kind = Alcotest.testable (Fmt.of_to_string pp_kind) ( = ) in
+          Alcotest.check kind "binary file auto-detects to mmap" `Mmap
+            (kind_of bin);
+          Alcotest.check kind "--mmap off forces the channel" `Channel
+            (kind_of ~mmap:`Off bin);
+          Alcotest.check kind "--mmap on maps" `Mmap (kind_of ~mmap:`On bin);
+          Alcotest.check kind "text traces stream" `Channel (kind_of txt);
+          (* the mapped source still exposes the framed header *)
+          let src = Source.open_file ~n bin in
+          (match Source.header src with
+          | Some h ->
+              Alcotest.(check int) "mmap header n" n h.Trace_codec.n;
+              Alcotest.(check int) "mmap header seed" 5 h.Trace_codec.seed
+          | None -> Alcotest.fail "mapped binary source lost its header");
+          Source.close src))
+
+let test_source_next_batch_matches_next () =
+  let n = 96 in
+  let trace = gen_trace ~n ~steps:701 ~seed:17 in
+  let drain_batched src ~block =
+    let buf = Array.make block 0 in
+    let acc = ref [] in
+    let continue = ref true in
+    while !continue do
+      let got = Source.next_batch src buf ~limit:block in
+      if got = 0 then continue := false
+      else
+        for j = 0 to got - 1 do
+          acc := buf.(j) :: !acc
+        done
+    done;
+    Source.close src;
+    Array.of_list (List.rev !acc)
+  in
+  with_temp ".rbt" (fun bin ->
+      Trace_codec.write ~path:bin ~n ~ell:8 ~seed:17 trace;
+      List.iter
+        (fun block ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "mmap next_batch, block %d" block)
+            trace
+            (drain_batched (Source.open_file ~mmap:`On ~n bin) ~block);
+          Alcotest.(check (array int))
+            (Printf.sprintf "channel next_batch, block %d" block)
+            trace
+            (drain_batched (Source.open_file ~mmap:`Off ~n bin) ~block))
+        [ 1; 7; 64; 1024 ];
+      (* limit outside the buffer is rejected, not clamped *)
+      let src = Source.open_file ~mmap:`On ~n bin in
+      (match Source.next_batch src (Array.make 4 0) ~limit:5 with
+      | _ -> Alcotest.fail "oversized limit accepted"
+      | exception Invalid_argument _ -> ());
+      Source.close src)
+
+(* The quiet batch path is observationally identical to the instrumented
+   one: same costs, same assignment, same replay prefix — so a checkpoint
+   taken after quiet batches resumes byte-identically. *)
+let test_quiet_batch_identity () =
+  let n = 128 and ell = 8 in
+  let trace = gen_trace ~n ~steps:900 ~seed:23 in
+  List.iter
+    (fun alg ->
+      let inst = Instance.blocks ~n ~ell in
+      let loud = Engine.create ~alg ~seed:3 inst in
+      let quiet = Engine.create ~alg ~seed:3 inst in
+      let block = 128 in
+      let at = ref 0 in
+      while !at < Array.length trace do
+        let len = Stdlib.min block (Array.length trace - !at) in
+        let chunk = Array.sub trace !at len in
+        ignore (Engine.ingest_batch loud chunk);
+        Engine.ingest_batch_quiet quiet chunk;
+        at := !at + len
+      done;
+      check_outcome
+        (Printf.sprintf "%s: quiet == instrumented" alg)
+        (outcome_of loud) (outcome_of quiet);
+      Alcotest.(check int)
+        (alg ^ ": same position") (Engine.pos loud) (Engine.pos quiet);
+      Alcotest.(check int)
+        (alg ^ ": metrics saw every request")
+        (Array.length trace)
+        (Metrics.requests (Engine.metrics quiet));
+      let ck_loud = Engine.checkpoint loud
+      and ck_quiet = Engine.checkpoint quiet in
+      Alcotest.(check (array int))
+        (alg ^ ": identical replay prefix") ck_loud.Ckpt.prefix
+        ck_quiet.Ckpt.prefix;
+      let resumed = Engine.resume ck_quiet in
+      check_outcome
+        (alg ^ ": quiet checkpoint resumes")
+        (outcome_of loud) (outcome_of resumed))
+    [ "onl-dynamic"; "never-move" ]
+
+(* End-to-end: the same binary trace served from the mmap source and the
+   channel source produces identical outcomes — the CLI identity behind
+   --mmap auto/on/off. *)
+let test_source_mmap_vs_channel_serve_identity () =
+  let n = 128 and ell = 8 in
+  let trace = gen_trace ~n ~steps:800 ~seed:29 in
+  with_temp ".rbt" (fun bin ->
+      Trace_codec.write ~path:bin ~n ~ell ~seed:29 trace;
+      let serve ~mmap ~quiet =
+        let inst = Instance.blocks ~n ~ell in
+        let engine = Engine.create ~alg:"onl-dynamic" ~seed:7 inst in
+        let src = Source.open_file ~mmap ~n bin in
+        let buf = Array.make 256 0 in
+        let continue = ref true in
+        while !continue do
+          let got = Source.next_batch src buf ~limit:(Array.length buf) in
+          if got = 0 then continue := false
+          else begin
+            let chunk = Array.sub buf 0 got in
+            if quiet then Engine.ingest_batch_quiet engine chunk
+            else ignore (Engine.ingest_batch engine chunk)
+          end
+        done;
+        Source.close src;
+        outcome_of engine
+      in
+      let reference = serve ~mmap:`Off ~quiet:false in
+      check_outcome "mmap == channel" reference (serve ~mmap:`On ~quiet:false);
+      check_outcome "mmap quiet == channel instrumented" reference
+        (serve ~mmap:`On ~quiet:true))
+
 (* --- metrics -------------------------------------------------------- *)
 
 let test_metrics_histogram () =
@@ -619,6 +758,14 @@ let () =
         ] );
       ( "source",
         [
+          Alcotest.test_case "mmap auto-detection and kinds" `Quick
+            test_source_mmap_kinds;
+          Alcotest.test_case "next_batch == next (both backends)" `Quick
+            test_source_next_batch_matches_next;
+          Alcotest.test_case "quiet batches == instrumented batches" `Quick
+            test_quiet_batch_identity;
+          Alcotest.test_case "mmap == channel end to end" `Quick
+            test_source_mmap_vs_channel_serve_identity;
           Alcotest.test_case "binary and text sources agree" `Quick
             test_source_binary_and_text_agree;
         ] );

@@ -9,6 +9,7 @@ module Rng = Rbgp_util.Rng
 module Smin = Rbgp_util.Smin
 module Dist = Rbgp_util.Dist
 module Stats = Rbgp_util.Stats
+module Binc = Rbgp_util.Binc
 
 let check = Alcotest.check
 let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
@@ -313,6 +314,138 @@ let test_expectation () =
   let d = Dist.of_weights [| 1.0; 1.0; 2.0 |] in
   checkf "expectation" 1.25 (Dist.expectation d float_of_int)
 
+(* --- Binc: block decoder == channel decoder --------------------------- *)
+
+(* The zero-copy ingest path stands on one claim: Binc.decode_varints over
+   a region and input_varint_opt over a channel are the same decoder —
+   same values, same clean-EOF/torn-tail split, for any byte sequence and
+   any block size.  These properties pin that down; Source/Trace_codec
+   inherit the guarantee wholesale. *)
+
+let encode_varints vals =
+  let b = Buffer.create 64 in
+  List.iter (Binc.add_varint b) vals;
+  Buffer.contents b
+
+(* Decode everything the channel reader can: (values, torn?) where [torn]
+   records an Invalid_argument mid-varint (vs a clean end-of-stream). *)
+let channel_decode s =
+  let path = Filename.temp_file "rbgp_binc" ".bin" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc;
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let acc = ref [] and torn = ref false in
+  (try
+     let continue = ref true in
+     while !continue do
+       match Binc.input_varint_opt ic with
+       | Some v -> acc := v :: !acc
+       | None -> continue := false
+     done
+   with Invalid_argument _ -> torn := true);
+  (List.rev !acc, !torn)
+
+(* Same contract through the block decoder, pulling [block] values per
+   call — crossing frame boundaries at every block size exercises the
+   parked-cursor torn-tail logic. *)
+let region_decode ~block s =
+  let r = Binc.region_of_string s in
+  let out = Array.make block 0 in
+  let acc = ref [] and torn = ref false in
+  (try
+     let continue = ref true in
+     while !continue do
+       let got = Binc.decode_varints r out ~limit:block in
+       if got = 0 then continue := false
+       else
+         for j = 0 to got - 1 do
+           acc := out.(j) :: !acc
+         done
+     done
+   with Invalid_argument _ -> torn := true);
+  (List.rev !acc, !torn)
+
+(* And through the one-value region reads (the Source.next mmap path). *)
+let region_decode_singles s =
+  let r = Binc.region_of_string s in
+  let acc = ref [] and torn = ref false in
+  (try
+     while not (Binc.region_at_end r) do
+       acc := Binc.region_read_varint r :: !acc
+     done
+   with Invalid_argument _ -> torn := true);
+  (List.rev !acc, !torn)
+
+let decoded = Alcotest.(pair (list int) bool)
+
+(* boundary-heavy value generator: continuation-byte edges and the 63-bit
+   range edges show up in most cases, not once in a blue moon *)
+let varint_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (4, int_range 0 300);
+        ( 3,
+          oneofl
+            [ 0; 1; 127; 128; 16383; 16384; 2097151; 2097152; max_int - 1;
+              max_int ] );
+        (2, int_range 0 max_int);
+      ])
+
+let varints_gen = QCheck2.Gen.(list_size (int_range 0 40) varint_gen)
+
+let test_binc_parity =
+  qtest ~count:150 "binc: block decode == channel decode (clean streams)"
+    QCheck2.Gen.(pair varints_gen (int_range 1 7))
+    (fun (vals, block) ->
+      let s = encode_varints vals in
+      channel_decode s = (vals, false)
+      && region_decode ~block s = (vals, false)
+      && region_decode_singles s = (vals, false))
+
+let test_binc_torn_parity =
+  qtest ~count:200 "binc: torn tails agree with the channel reader"
+    QCheck2.Gen.(pair (pair varints_gen (int_range 1 5)) (float_bound_inclusive 1.0))
+    (fun ((vals, block), frac) ->
+      let s = encode_varints vals in
+      let cut = int_of_float (frac *. float_of_int (String.length s)) in
+      let s = String.sub s 0 (min cut (String.length s)) in
+      let reference = channel_decode s in
+      region_decode ~block s = reference
+      && region_decode_singles s = reference)
+
+let test_binc_boundaries () =
+  let vals = [ 0; 1; 127; 128; 16383; 16384; 2097151; 2097152; max_int ] in
+  let s = encode_varints vals in
+  check decoded "channel decodes boundary values" (vals, false)
+    (channel_decode s);
+  check decoded "block decoder matches" (vals, false) (region_decode ~block:3 s);
+  (* dropping the last byte tears the final (multi-byte) varint: complete
+     frames are still delivered, then both decoders raise *)
+  let torn = String.sub s 0 (String.length s - 1) in
+  let expect = (List.filteri (fun i _ -> i < List.length vals - 1) vals, true) in
+  check decoded "channel reports the torn tail" expect (channel_decode torn);
+  check decoded "block decoder reports the same torn tail" expect
+    (region_decode ~block:4 torn);
+  check decoded "single-value region reads agree" expect
+    (region_decode_singles torn)
+
+let test_binc_zigzag_region () =
+  let vals = [ 0; -1; 1; -64; 64; 123456789; -123456789; (1 lsl 61) - 1;
+               -(1 lsl 61) ] in
+  let b = Buffer.create 64 in
+  List.iter (Binc.add_zigzag b) vals;
+  let r = Binc.region_of_string (Buffer.contents b) in
+  List.iter
+    (fun v ->
+      Alcotest.(check int) "zigzag round-trips through the region" v
+        (Binc.region_read_zigzag r))
+    vals;
+  Alcotest.(check bool) "region fully consumed" true (Binc.region_at_end r)
+
 (* --- Union_find ------------------------------------------------------ *)
 
 module Uf = Rbgp_util.Union_find
@@ -447,6 +580,14 @@ let () =
           Alcotest.test_case "earthmover points" `Quick test_earthmover_points;
           test_earthmover_vs_tv;
           Alcotest.test_case "expectation" `Quick test_expectation;
+        ] );
+      ( "binc",
+        [
+          test_binc_parity;
+          test_binc_torn_parity;
+          Alcotest.test_case "boundary values" `Quick test_binc_boundaries;
+          Alcotest.test_case "zigzag region reads" `Quick
+            test_binc_zigzag_region;
         ] );
       ( "union-find",
         [
