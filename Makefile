@@ -18,21 +18,26 @@ bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 # the bench run also writes the machine-readable trajectory file
-# (BENCH_5.json: component ns/run + r^2, per-experiment wall clock,
+# (BENCH_6.json: component ns/run + r^2, per-experiment wall clock,
 # parallel-vs-sequential speedup, serve-loop throughput + resume identity,
-# the domains sweep for the interval-sharded batched request path, and
-# the zero-copy ingest section: mmap-vs-channel decode throughput and the
-# pull-to-solve pipeline with identity bits); this target validates it
-# parses and enforces the measurement-fidelity floor (any component fit
-# with r^2 < 0.5 fails) plus the ingest identity bits
+# the domains sweep for the interval-sharded batched request path, the
+# zero-copy ingest section: mmap-vs-channel decode throughput and the
+# pull-to-solve pipeline with identity bits, and the fault-layer section:
+# hook-free vs disabled vs armed-idle pipeline throughput); this target
+# validates it parses and enforces the measurement-fidelity floor (any
+# component fit with r^2 < 0.5 fails), the ingest identity bits, and the
+# faults-off overhead ceiling (< 2% vs the hook-free loop)
 bench-json: bench
 	@python3 -c "import json, sys; \
-d = json.load(open('BENCH_5.json')); \
+d = json.load(open('BENCH_6.json')); \
 bad = [c for c in d['components'] if c['r2'] is None or c['r2'] < 0.5]; \
 ing = d['ingest']; \
+flt = d['faults']; \
 sys.exit('ingest decode/serve identity broken') if not (ing['decode_identical'] and ing['serve_identical']) else None; \
+sys.exit('fault-layer runs diverged') if not flt['identical'] else None; \
+sys.exit('faults-off overhead %.2f%% above the 2%% ceiling' % (100 * flt['overhead_frac'])) if flt['overhead_frac'] >= 0.02 else None; \
 sys.exit('components below the r^2 floor: ' + ', '.join(c['name'] for c in bad)) if bad else \
-print('BENCH_5.json: valid JSON, all %d component fits have r^2 >= 0.5, ingest identical (decode %.1fx)' % (len(d['components']), ing['decode_speedup']))"
+print('BENCH_6.json: valid JSON, all %d component fits have r^2 >= 0.5, ingest identical (decode %.1fx), faults-off overhead %.2f%%' % (len(d['components']), ing['decode_speedup'], 100 * flt['overhead_frac']))"
 
 experiments:
 	dune exec bin/rbgp_cli.exe -- exp all | tee experiments_full.txt

@@ -35,16 +35,23 @@
       checkpoints.  CI gates on decode_speedup >= 5, the never-move
       pipeline >= 1M req/s, and both identity bits.
 
-   Besides the human-readable tables the run writes BENCH_5.json next to
-   the current directory: the BENCH_4 sections (component ns/run + r^2,
+   5. the fault-layer overhead bench: the quiet mmap pipeline timed three
+      ways — a hook-free hot loop (block decode feeding the engine
+      directly, no Source, no fault checks), the Source pipeline with the
+      fault layer disabled, and the same pipeline with an armed plan that
+      never fires (crash@2e9).  CI gates the disabled-vs-baseline
+      overhead below 2%: the crash-safety hooks must be free when off.
+
+   Besides the human-readable tables the run writes BENCH_6.json next to
+   the current directory: the BENCH_5 sections (component ns/run + r^2,
    wall-clock seconds per quick-mode experiment, parallel-vs-sequential
    comparisons for E8 and E10 with cold/warm speedups and byte-identity
    checks, streaming-engine throughput with checkpoint/resume identity,
-   the "domains_sweep" section) plus the new "ingest" section.  The
-   numeric suffix is the bench-trajectory slot for this change set;
-   BENCH_1..4.json are earlier snapshots and later change sets append
-   BENCH_6.json, ... so the files form a machine-readable performance
-   history of the repository. *)
+   the "domains_sweep" and "ingest" sections) plus the new "faults"
+   section.  The numeric suffix is the bench-trajectory slot for this
+   change set; BENCH_1..5.json are earlier snapshots and later change
+   sets append BENCH_7.json, ... so the files form a machine-readable
+   performance history of the repository. *)
 
 let rng = Rbgp_util.Rng.create 20230717
 
@@ -595,7 +602,7 @@ type ingest_result = {
   ing_serve_identical : bool;
 }
 
-(* The BENCH_5 headline: the zero-copy ingest path from the issue.
+(* The zero-copy ingest headline (introduced in the BENCH_5 slot).
 
    (a) decode-only throughput of the two trace readers over the same
        framed binary file — the block decoder over an mmap'ed region
@@ -779,10 +786,124 @@ let ingest_bench () =
     ing_serve_identical = serve_identical;
   }
 
-let write_bench_json ~components ~experiments ~parallel ~serve ~sweep ~ingest =
-  let oc = open_out "BENCH_5.json" in
+type faults_point = {
+  fp_requests : int;
+  fp_baseline_rps : float;
+  fp_disabled_rps : float;
+  fp_armed_rps : float;
+  fp_overhead_frac : float;
+  fp_identical : bool;
+}
+
+(* The crash-safety promise is that the fault layer costs nothing when it
+   is off.  Three timings of the same quiet never-move pipeline over one
+   mmap'ed trace:
+
+   - baseline: the hook-free hot loop — [Trace_codec.decode_requests_into]
+     feeding [Engine.ingest_batch_quiet] directly, no [Source], no
+     [Fault.armed] checks anywhere;
+   - disabled: the real `serve --mmap on` path through [Source.next_batch]
+     with the fault layer disabled (the shipped default);
+   - armed: the same path under `crash@2000000000` — a plan that never
+     fires, so the cost is the per-block [request_fault_pending] range
+     check plus the per-pull read hooks.
+
+   overhead_frac = (baseline - disabled) / baseline is the number CI
+   gates below 0.02; the armed figure is reported alongside so a
+   regression in the armed-but-idle path is visible in the history.
+   Each timing is best-of-3 to shed scheduler noise, and all three runs
+   must end in byte-identical checkpoints. *)
+let faults_bench () =
+  let n = 4096 and ell = 32 and steps = 1_000_000 in
+  let trace =
+    match
+      Rbgp_workloads.Workloads.rotating ~n ~steps (Rbgp_util.Rng.create 7)
+    with
+    | Rbgp_ring.Trace.Fixed a -> a
+    | Rbgp_ring.Trace.Adaptive _ -> assert false
+  in
+  let path = Filename.temp_file "rbgp_bench_faults" ".rbt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Rbgp_workloads.Trace_codec.write ~path ~n ~ell ~seed:7 trace;
+  let inst = Rbgp_ring.Instance.blocks ~n ~ell in
+  let batch = 4096 in
+  let block = Array.make batch 0 in
+  let finish engine =
+    assert (Rbgp_serve.Engine.pos engine = steps);
+    Rbgp_serve.Checkpoint.to_string (Rbgp_serve.Engine.checkpoint engine)
+  in
+  let baseline () =
+    let engine = Rbgp_serve.Engine.create ~alg:"never-move" ~seed:42 inst in
+    let r = Rbgp_workloads.Trace_codec.map ~path path in
+    ignore (Rbgp_workloads.Trace_codec.header_of_region ~path r);
+    let continue = ref true in
+    while !continue do
+      let got =
+        Rbgp_workloads.Trace_codec.decode_requests_into ~path r ~n block
+          ~limit:batch
+      in
+      if got = 0 then continue := false
+      else
+        Rbgp_serve.Engine.ingest_batch_quiet engine
+          (if got = batch then block else Array.sub block 0 got)
+    done;
+    finish engine
+  in
+  let pipeline () =
+    let engine = Rbgp_serve.Engine.create ~alg:"never-move" ~seed:42 inst in
+    let src = Rbgp_serve.Source.open_file ~mmap:`On ~n path in
+    let continue = ref true in
+    while !continue do
+      let got = Rbgp_serve.Source.next_batch src block ~limit:batch in
+      if got = 0 then continue := false
+      else
+        Rbgp_serve.Engine.ingest_batch_quiet engine
+          (if got = batch then block else Array.sub block 0 got)
+    done;
+    Rbgp_serve.Source.close src;
+    finish engine
+  in
+  (* warm the page cache before any timed pass *)
+  ignore (baseline ());
+  let best f =
+    let ck = ref "" in
+    let dt = ref infinity in
+    for _ = 1 to 3 do
+      let c, d = timed f in
+      ck := c;
+      if d < !dt then dt := d
+    done;
+    (!ck, float_of_int steps /. !dt)
+  in
+  let base_ck, baseline_rps = best baseline in
+  let dis_ck, disabled_rps = best pipeline in
+  let armed_ck, armed_rps =
+    Fun.protect ~finally:Rbgp_serve.Fault.disable (fun () ->
+        Rbgp_serve.Fault.configure "crash@2000000000";
+        best pipeline)
+  in
+  let identical = String.equal base_ck dis_ck && String.equal dis_ck armed_ck in
+  let overhead = (baseline_rps -. disabled_rps) /. baseline_rps in
+  Printf.printf
+    "faults overhead (never-move, quiet, %d reqs): hook-free %.0f req/s, \
+     disabled %.0f req/s (%.2f%% overhead), armed-idle %.0f req/s, \
+     checkpoints %s\n"
+    steps baseline_rps disabled_rps (100. *. overhead) armed_rps
+    (if identical then "identical" else "DIVERGED");
+  {
+    fp_requests = steps;
+    fp_baseline_rps = baseline_rps;
+    fp_disabled_rps = disabled_rps;
+    fp_armed_rps = armed_rps;
+    fp_overhead_frac = overhead;
+    fp_identical = identical;
+  }
+
+let write_bench_json ~components ~experiments ~parallel ~serve ~sweep ~ingest
+    ~faults =
+  let oc = open_out "BENCH_6.json" in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"rbgp-bench/5\",\n";
+  out "{\n  \"schema\": \"rbgp-bench/6\",\n";
   out "  \"components\": [\n";
   List.iteri
     (fun i (name, ns, r2) ->
@@ -857,10 +978,18 @@ let write_bench_json ~components ~experiments ~parallel ~serve ~sweep ~ingest =
         (json_escape p.pp_alg) p.pp_batch p.pp_requests (json_num p.pp_rps)
         (if i < List.length ingest.ing_pipeline - 1 then "," else ""))
     ingest.ing_pipeline;
-  out "    ],\n    \"serve_identical\": %b\n  }\n}\n"
-    ingest.ing_serve_identical;
+  out "    ],\n    \"serve_identical\": %b\n  },\n" ingest.ing_serve_identical;
+  out "  \"faults\": {\n";
+  out "    \"requests\": %d,\n" faults.fp_requests;
+  out "    \"baseline_rps\": %s,\n    \"disabled_rps\": %s,\n"
+    (json_num faults.fp_baseline_rps)
+    (json_num faults.fp_disabled_rps);
+  out "    \"armed_idle_rps\": %s,\n    \"overhead_frac\": %s,\n"
+    (json_num faults.fp_armed_rps)
+    (json_num faults.fp_overhead_frac);
+  out "    \"identical\": %b\n  }\n}\n" faults.fp_identical;
   close_out oc;
-  print_endline "wrote BENCH_5.json"
+  print_endline "wrote BENCH_6.json"
 
 let () =
   let components = run_benchmarks () in
@@ -886,7 +1015,10 @@ let () =
   let sweep = domains_sweep () in
   print_newline ();
   let ingest = ingest_bench () in
-  write_bench_json ~components ~experiments ~parallel ~serve ~sweep ~ingest;
+  print_newline ();
+  let faults = faults_bench () in
+  write_bench_json ~components ~experiments ~parallel ~serve ~sweep ~ingest
+    ~faults;
   (* the fidelity gate: a component whose fit explains less than half the
      variance is a measurement failure, not a data point *)
   let low =

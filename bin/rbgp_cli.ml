@@ -225,6 +225,12 @@ module Engine = Rbgp_serve.Engine
 module Metrics = Rbgp_serve.Metrics
 module Ckpt = Rbgp_serve.Checkpoint
 module Source = Rbgp_serve.Source
+module Fault = Rbgp_serve.Fault
+
+(* --faults wins over RBGP_FAULTS; with neither, hooks stay disabled. *)
+let configure_faults = function
+  | Some spec -> Fault.configure spec
+  | None -> Fault.configure_from_env ()
 
 let format_conv =
   Arg.enum [ ("auto", `Auto); ("text", `Text); ("bin", `Binary) ]
@@ -246,7 +252,7 @@ let open_source ~trace ~format ~mmap ~n =
    request, embed a metrics record every N requests, keep a rolling
    checkpoint, dump metrics on SIGUSR1 and at exit. *)
 let serve_loop engine source ~decisions ~metrics_every ~checkpoint_path
-    ~checkpoint_every ~stop_after ~batch =
+    ~checkpoint_every ~checkpoint_keep ~stop_after ~batch =
   let m = Engine.metrics engine in
   (try
      Sys.set_signal Sys.sigusr1
@@ -257,7 +263,11 @@ let serve_loop engine source ~decisions ~metrics_every ~checkpoint_path
    with Invalid_argument _ | Sys_error _ -> ());
   let write_ckpt () =
     match checkpoint_path with
-    | Some path -> Ckpt.write ~path (Engine.checkpoint engine)
+    | Some path ->
+        if checkpoint_keep > 1 then
+          Ckpt.write_rolling ~path ~keep:checkpoint_keep
+            (Engine.checkpoint engine)
+        else Ckpt.write ~path (Engine.checkpoint engine)
     | None -> ()
   in
   (* a cadence boundary (metrics-every / checkpoint-every) fires when a
@@ -304,6 +314,114 @@ let serve_loop engine source ~decisions ~metrics_every ~checkpoint_path
   print_endline (Engine.result_to_json engine);
   flush stdout;
   prerr_endline (Metrics.summary m)
+
+(* Consume the already-served prefix of a source that replays the stream
+   from the beginning, verifying it against the checkpoint request for
+   request.  Verified in blocks: one next_batch pull per chunk instead of
+   one closure dispatch per already-served request. *)
+let consume_prefix source (ckpt : Ckpt.t) =
+  let prefix = ckpt.Ckpt.prefix in
+  let total = Array.length prefix in
+  let chunk = Array.make (Stdlib.min 8192 (Stdlib.max 1 total)) 0 in
+  let at = ref 0 in
+  while !at < total do
+    let want = Stdlib.min (Array.length chunk) (total - !at) in
+    let got = Source.next_batch source chunk ~limit:want in
+    if got = 0 then
+      failwith
+        (Printf.sprintf
+           "resume: trace ends at request %d but the checkpoint already \
+            served %d requests"
+           !at ckpt.Ckpt.pos);
+    for j = 0 to got - 1 do
+      if chunk.(j) <> prefix.(!at + j) then
+        failwith
+          (Printf.sprintf
+             "resume: trace diverges from checkpoint at request %d (trace \
+              has %d, checkpoint served %d)"
+             (!at + j) chunk.(j)
+             prefix.(!at + j))
+    done;
+    at := !at + got
+  done
+
+(* Supervised serving: run the loop, and on an engine / decode /
+   sanitizer / injected failure restore the newest checkpoint generation
+   that verifies, replay its verified prefix from the reopened trace, and
+   continue — with bounded exponential backoff between restarts so a
+   persistently failing source cannot spin.  Only failures the recovery
+   machinery is built for are caught (named exception list below); anything
+   else escapes to the top level untouched. *)
+let supervised_serve ~alg ~accounting ~epsilon ~seed ~inst ~trace ~format
+    ~mmap ~n ~decisions ~metrics_every ~checkpoint_path ~checkpoint_every
+    ~checkpoint_keep ~stop_after ~batch ~budget_ns ~cooloff =
+  let ckpt_path =
+    match checkpoint_path with
+    | Some p -> p
+    | None -> invalid_arg "serve: --supervise requires --checkpoint"
+  in
+  if trace = "-" then
+    invalid_arg
+      "serve: --supervise needs a re-openable --trace file, not stdin";
+  let max_restarts = 16 in
+  let restarts = ref 0 in
+  let rec attempt () =
+    let engine, recovered =
+      if !restarts = 0 then
+        (Engine.create ~accounting ~epsilon ~alg ~seed inst, None)
+      else
+        match Ckpt.read_latest ~path:ckpt_path () with
+        | r ->
+            List.iter
+              (fun (p, msg) ->
+                Logs.warn (fun k ->
+                    k "supervise: skipped checkpoint generation %s: %s" p msg))
+              r.Ckpt.skipped;
+            Logs.warn (fun k ->
+                k "supervise: restored generation %d at request %d"
+                  r.Ckpt.generation r.Ckpt.ckpt.Ckpt.pos);
+            (Engine.resume ~accounting r.Ckpt.ckpt, Some r.Ckpt.ckpt)
+        | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
+            Logs.warn (fun k ->
+                k "supervise: no verifiable checkpoint (%s); starting fresh"
+                  msg);
+            (Engine.create ~accounting ~epsilon ~alg ~seed inst, None)
+    in
+    Engine.set_solver_budget engine ~budget_ns ~cooloff;
+    let source = open_source ~trace ~format ~mmap ~n in
+    match
+      Fun.protect
+        ~finally:(fun () -> Source.close source)
+        (fun () ->
+          (match recovered with
+          | Some ckpt -> consume_prefix source ckpt
+          | None -> ());
+          (* --stop-after counts the whole run, so a restarted attempt
+             only serves what the restored engine has not already seen *)
+          let stop_after =
+            Option.map
+              (fun s -> Stdlib.max 0 (s - Engine.pos engine))
+              stop_after
+          in
+          serve_loop engine source ~decisions ~metrics_every
+            ~checkpoint_path ~checkpoint_every ~checkpoint_keep ~stop_after
+            ~batch)
+    with
+    | () -> ()
+    | exception
+        (( Fault.Injected_crash _ | Failure _ | Invalid_argument _
+         | Sys_error _ | End_of_file
+         | Unix.Unix_error _ ) as e)
+      when !restarts < max_restarts ->
+        incr restarts;
+        Logs.warn (fun k ->
+            k "supervise: attempt failed (%s); restart %d/%d"
+              (Printexc.to_string e) !restarts max_restarts);
+        Unix.sleepf
+          (Stdlib.min (0.005 *. (2. ** float_of_int (!restarts - 1))) 0.5);
+        attempt ()
+  in
+  attempt ()
 
 let trace_arg =
   Arg.(
@@ -391,6 +509,47 @@ let batch_arg =
            checkpoints are byte-identical to --batch 1.  Metrics and \
            checkpoint cadences are evaluated at batch boundaries.")
 
+let checkpoint_keep_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "checkpoint-keep" ] ~docv:"K"
+        ~doc:
+          "Keep K rolling checkpoint generations (FILE, FILE.1, ..., \
+           FILE.(K-1), newest first); recovery falls back past torn or \
+           corrupt generations to the newest one that verifies.  K = 1 \
+           (the default) keeps a single atomically-replaced snapshot.")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault-injection plan, e.g. \
+           'ckpt-tear@3,read-eintr:0.01,solver-stall@5000' (see DESIGN.md \
+           for the grammar).  Overrides \\$(b,RBGP_FAULTS).  For testing \
+           the recovery machinery; without a plan every hook is disabled.")
+
+let solver_budget_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "solver-budget" ] ~docv:"NS"
+        ~doc:
+          "Per-request solver budget in nanoseconds (0 disables).  A \
+           request whose solve exceeds the budget degrades the engine to \
+           the never-move path for --budget-cooloff requests before \
+           re-promoting; degraded spans are recorded in metrics and \
+           checkpoints, and resume replays them exactly.")
+
+let budget_cooloff_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "budget-cooloff" ] ~docv:"N"
+        ~doc:
+          "How many requests the engine serves on the degraded never-move \
+           path after a solver-budget overrun before re-promoting to the \
+           full algorithm.")
+
 let serve_cmd =
   let alg_arg =
     Arg.(
@@ -403,30 +562,56 @@ let serve_cmd =
   let epsilon =
     Arg.(value & opt float 0.5 & info [ "epsilon" ] ~doc:"Augmentation slack.")
   in
+  let supervise_arg =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Supervised serving: catch engine, decode and sanitizer \
+             failures, restore the newest checkpoint generation that \
+             verifies, replay the verified prefix and continue, with \
+             bounded exponential backoff between restarts.  Requires \
+             --checkpoint and a re-openable --trace file (not stdin).")
+  in
   let run alg n ell epsilon seed trace format mmap accounting no_decisions
-      metrics_every checkpoint_path checkpoint_every stop_after batch domains
+      metrics_every checkpoint_path checkpoint_every checkpoint_keep
+      stop_after batch domains faults solver_budget budget_cooloff supervise
       verbose =
     setup_logs verbose;
     Rbgp_util.Pool.set_domains domains;
+    configure_faults faults;
     let inst = Rbgp_ring.Instance.blocks ~n ~ell in
-    let engine = Engine.create ~accounting ~epsilon ~alg ~seed inst in
-    let source = open_source ~trace ~format ~mmap ~n in
-    Fun.protect
-      ~finally:(fun () -> Source.close source)
-      (fun () ->
-        serve_loop engine source ~decisions:(not no_decisions) ~metrics_every
-          ~checkpoint_path ~checkpoint_every ~stop_after ~batch)
+    if supervise then
+      supervised_serve ~alg ~accounting ~epsilon ~seed ~inst ~trace ~format
+        ~mmap ~n ~decisions:(not no_decisions) ~metrics_every
+        ~checkpoint_path ~checkpoint_every ~checkpoint_keep ~stop_after
+        ~batch ~budget_ns:solver_budget ~cooloff:budget_cooloff
+    else begin
+      let engine = Engine.create ~accounting ~epsilon ~alg ~seed inst in
+      Engine.set_solver_budget engine ~budget_ns:solver_budget
+        ~cooloff:budget_cooloff;
+      let source = open_source ~trace ~format ~mmap ~n in
+      Fun.protect
+        ~finally:(fun () -> Source.close source)
+        (fun () ->
+          serve_loop engine source ~decisions:(not no_decisions)
+            ~metrics_every ~checkpoint_path ~checkpoint_every
+            ~checkpoint_keep ~stop_after ~batch)
+    end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Stream requests through an algorithm: one JSONL decision per \
-          request, live metrics, optional rolling checkpoints.")
+          request, live metrics, optional rolling checkpoints, fault \
+          injection and supervised crash recovery.")
     Term.(
       const run $ alg_arg $ n $ ell $ epsilon $ seed_arg $ trace_arg
       $ format_arg $ mmap_arg $ accounting_arg $ decisions_arg
       $ metrics_every_arg $ checkpoint_path_arg $ checkpoint_every_arg
-      $ stop_after_arg $ batch_arg $ domains_arg $ verbose_arg)
+      $ checkpoint_keep_arg $ stop_after_arg $ batch_arg $ domains_arg
+      $ faults_arg $ solver_budget_arg $ budget_cooloff_arg $ supervise_arg
+      $ verbose_arg)
 
 let resume_cmd =
   let from_arg =
@@ -445,46 +630,23 @@ let resume_cmd =
              the checkpoint request for request.")
   in
   let run from trace format mmap accounting skip_prefix no_decisions
-      metrics_every checkpoint_path checkpoint_every stop_after batch domains
-      verbose =
+      metrics_every checkpoint_path checkpoint_every checkpoint_keep
+      stop_after batch domains faults solver_budget budget_cooloff verbose =
     setup_logs verbose;
     Rbgp_util.Pool.set_domains domains;
+    configure_faults faults;
     let ckpt = Ckpt.read ~path:from in
     let engine = Engine.resume ~accounting ckpt in
+    Engine.set_solver_budget engine ~budget_ns:solver_budget
+      ~cooloff:budget_cooloff;
     let source = open_source ~trace ~format ~mmap ~n:ckpt.Ckpt.n in
     Fun.protect
       ~finally:(fun () -> Source.close source)
       (fun () ->
-        (if skip_prefix then begin
-           (* verified in blocks: one next_batch pull per chunk instead of
-              one closure dispatch per already-served request *)
-           let prefix = ckpt.Ckpt.prefix in
-           let total = Array.length prefix in
-           let chunk = Array.make (Stdlib.min 8192 (Stdlib.max 1 total)) 0 in
-           let at = ref 0 in
-           while !at < total do
-             let want = Stdlib.min (Array.length chunk) (total - !at) in
-             let got = Source.next_batch source chunk ~limit:want in
-             if got = 0 then
-               failwith
-                 (Printf.sprintf
-                    "resume: trace ends at request %d but the checkpoint \
-                     already served %d requests"
-                    !at ckpt.Ckpt.pos);
-             for j = 0 to got - 1 do
-               if chunk.(j) <> prefix.(!at + j) then
-                 failwith
-                   (Printf.sprintf
-                      "resume: trace diverges from checkpoint at request %d \
-                       (trace has %d, checkpoint served %d)"
-                      (!at + j) chunk.(j)
-                      prefix.(!at + j))
-             done;
-             at := !at + got
-           done
-         end);
+        if skip_prefix then consume_prefix source ckpt;
         serve_loop engine source ~decisions:(not no_decisions) ~metrics_every
-          ~checkpoint_path ~checkpoint_every ~stop_after ~batch)
+          ~checkpoint_path ~checkpoint_every ~checkpoint_keep ~stop_after
+          ~batch)
   in
   Cmd.v
     (Cmd.info "resume"
@@ -495,21 +657,51 @@ let resume_cmd =
     Term.(
       const run $ from_arg $ trace_arg $ format_arg $ mmap_arg
       $ accounting_arg $ skip_prefix_arg $ decisions_arg $ metrics_every_arg
-      $ checkpoint_path_arg $ checkpoint_every_arg $ stop_after_arg
-      $ batch_arg $ domains_arg $ verbose_arg)
+      $ checkpoint_path_arg $ checkpoint_every_arg $ checkpoint_keep_arg
+      $ stop_after_arg $ batch_arg $ domains_arg $ faults_arg
+      $ solver_budget_arg $ budget_cooloff_arg $ verbose_arg)
 
 let checkpoint_cmd =
   let file_arg =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"CKPT" ~doc:"Checkpoint file to inspect.")
+      & info [] ~docv:"CKPT"
+          ~doc:
+            "Checkpoint file to inspect — or the literal word 'verify' \
+             followed by the file, to check it (CRC trailer, header, full \
+             decode) and exit 0 if valid, 1 if not.")
   in
-  let run file = print_endline (Ckpt.to_json (Ckpt.read ~path:file)) in
+  let second_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"CKPT" ~doc:"With 'verify': the checkpoint to check.")
+  in
+  let run first second =
+    match (first, second) with
+    | "verify", Some path -> (
+        match Ckpt.verify ~path with
+        | Ok t ->
+            Printf.printf "%s: ok (%s, n=%d, ell=%d, pos %d)\n" path
+              t.Ckpt.alg t.Ckpt.n t.Ckpt.ell t.Ckpt.pos
+        | Error msg ->
+            Printf.eprintf "%s: INVALID: %s\n" path msg;
+            Stdlib.exit 1)
+    | "verify", None ->
+        prerr_endline "checkpoint verify: missing checkpoint file argument";
+        Stdlib.exit 2
+    | file, None -> print_endline (Ckpt.to_json (Ckpt.read ~path:file))
+    | _, Some extra ->
+        Printf.eprintf "checkpoint: unexpected extra argument %s\n" extra;
+        Stdlib.exit 2
+  in
   Cmd.v
     (Cmd.info "checkpoint"
-       ~doc:"Describe a checkpoint file as a JSON record.")
-    Term.(const run $ file_arg)
+       ~doc:
+         "Describe a checkpoint file as a JSON record, or verify its \
+          integrity ('rbgp checkpoint verify FILE').")
+    Term.(const run $ file_arg $ second_arg)
 
 (* --- trace: generate / convert -------------------------------------- *)
 

@@ -244,11 +244,17 @@ let component_learning (inst : Instance.t) =
     ~snapshot:(fun () ->
       snapshot_of name (fun buf ->
           Binc.add_int_array buf (Assignment.to_array a);
-          (* the forest up to representative renaming: future behaviour
-             depends only on the partition (membership and sizes), so the
-             canonical-representative array is a faithful snapshot *)
-          Binc.add_int_array buf
-            (Array.init n (fun p -> Rbgp_util.Union_find.find !uf_ref p))))
+          (* future behaviour depends only on the partition (membership
+             and sizes), not on which element the forest happens to use
+             as a root, so canonicalise each component to its minimum
+             member: a run that restored from this snapshot then
+             re-snapshots must produce identical bytes *)
+          let roots = Array.init n (fun p -> Rbgp_util.Union_find.find !uf_ref p) in
+          let canon = Array.make n max_int in
+          Array.iteri
+            (fun p r -> if p < canon.(r) then canon.(r) <- p)
+            roots;
+          Binc.add_int_array buf (Array.map (fun r -> canon.(r)) roots)))
     ~restore:(fun s ->
       let r = open_snapshot name s in
       Assignment.restore_array a (Binc.read_int_array r);

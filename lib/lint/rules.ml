@@ -301,22 +301,22 @@ let toplevel_mutable_findings ~path (str : Parsetree.structure) =
 (* The audited hot-IO modules: every byte of the ingest path flows through
    these, so a per-byte channel read or a closure allocated inside a
    serving loop is a real per-request cost (the difference between the
-   channel and mmap decode rates in BENCH_5), not a style nit.  The
+   channel and mmap decode rates in the bench ingest section), not a style nit.  The
    channel fallback for pipes and stdin legitimately reads byte-wise —
    those sites carry founding allowlist entries with the justification
    written down. *)
 let hot_io_file_suffixes = [ "lib/ring/trace.ml"; "lib/util/binc.ml" ]
 
+let has_suffix p suf =
+  let lp = String.length p and ls = String.length suf in
+  lp >= ls && String.equal (String.sub p (lp - ls) ls) suf
+
 let is_hot_io path =
   let p = Finding.normalize_path path in
-  let suffixed suf =
-    let lp = String.length p and ls = String.length suf in
-    lp >= ls && String.equal (String.sub p (lp - ls) ls) suf
-  in
   (match scope_of_path p with
   | { area = `Lib; sublib = Some "serve" } -> true
   | _ -> false)
-  || List.exists suffixed hot_io_file_suffixes
+  || List.exists (has_suffix p) hot_io_file_suffixes
 
 let hot_io_findings ~path (str : Parsetree.structure) =
   let acc = ref [] in
@@ -370,6 +370,143 @@ let hot_io_findings ~path (str : Parsetree.structure) =
   it.Ast_iterator.structure it str;
   !acc
 
+(* --- R9: durability hygiene ------------------------------------------- *)
+
+(* The audited durable-write modules: every byte that must survive a
+   crash (checkpoints, trace artifacts) is produced here, and the only
+   sanctioned way to publish it is Durable.atomic_write (tmp + fsync +
+   rename + parent-dir fsync).  A bare open_out to a persistent path can
+   be torn by a crash mid-write — exactly the failure the fault injector
+   exists to exercise — so every remaining channel-writer site carries an
+   allowlist entry saying why a torn file is acceptable there.
+
+   The second half patrols the recovery machinery itself: a catch-all
+   handler wrapped around code that calls into the Fault or Durable layer
+   swallows Injected_crash, turning a simulated kill into a silently
+   absorbed no-op and making the crash matrix vacuous.  Handlers that
+   name their exceptions (as the supervisor does) or visibly re-raise are
+   fine. *)
+let durable_file_suffixes =
+  [ "lib/workloads/trace_codec.ml"; "lib/workloads/trace_io.ml";
+    "lib/util/durable.ml" ]
+
+let is_durable_audited path =
+  let p = Finding.normalize_path path in
+  (match scope_of_path p with
+  | { area = `Lib; sublib = Some "serve" } -> true
+  | _ -> false)
+  || List.exists (has_suffix p) durable_file_suffixes
+
+let durability_findings ~path ~scope (str : Parsetree.structure) =
+  let audited = is_durable_audited path in
+  let acc = ref [] in
+  let add ~loc message =
+    acc :=
+      Finding.of_location ~rule:"r9-durability" ~severity:Finding.Error
+        ~file:path loc message
+      :: !acc
+  in
+  (* does this subtree call into the fault / durable layer? *)
+  let mentions_recovery_layer e0 =
+    let rec member_of m = function
+      | x :: _ :: _ when String.equal x m -> true
+      | _ :: rest -> member_of m rest
+      | [] -> false
+    in
+    let hit lid =
+      let p = flatten [] lid in
+      member_of "Fault" p || member_of "Durable" p
+    in
+    let found = ref false in
+    let expr (self : Ast_iterator.iterator) (e : Parsetree.expression) =
+      (match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_ident { txt; _ } -> if hit txt then found := true
+      | Parsetree.Pexp_construct ({ txt; _ }, _) ->
+          if hit txt then found := true
+      | _ -> ());
+      if not !found then
+        Ast_iterator.default_iterator.Ast_iterator.expr self e
+    in
+    let it = { Ast_iterator.default_iterator with expr } in
+    it.Ast_iterator.expr it e0;
+    !found
+  in
+  (* a handler that re-raises (raise / reraise / raise_with_backtrace
+     anywhere in its body) is propagating, not swallowing *)
+  let reraises e0 =
+    let found = ref false in
+    let expr (self : Ast_iterator.iterator) (e : Parsetree.expression) =
+      (match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_ident { txt; _ } -> (
+          match ident_path txt with
+          | [ "raise" ] | [ "reraise" ] | [ "raise_notrace" ]
+          | [ "Printexc"; "raise_with_backtrace" ] ->
+              found := true
+          | _ -> ())
+      | _ -> ());
+      if not !found then
+        Ast_iterator.default_iterator.Ast_iterator.expr self e
+    in
+    let it = { Ast_iterator.default_iterator with expr } in
+    it.Ast_iterator.expr it e0;
+    !found
+  in
+  let catch_all (p : Parsetree.pattern) =
+    match p.Parsetree.ppat_desc with
+    | Parsetree.Ppat_any | Parsetree.Ppat_var _ -> true
+    | Parsetree.Ppat_alias ({ ppat_desc = Parsetree.Ppat_any; _ }, _) -> true
+    | _ -> false
+  in
+  let swallow_msg =
+    "catch-all handler around a fault/durability call site swallows \
+     Injected_crash, silently absorbing a simulated kill; name the \
+     exceptions you recover from (and let Injected_crash escape) or \
+     justify via allowlist"
+  in
+  let flag_case protected (c : Parsetree.case) =
+    match c.Parsetree.pc_lhs.Parsetree.ppat_desc with
+    | Parsetree.Ppat_exception p
+      when protected && catch_all p && c.Parsetree.pc_guard = None
+           && not (reraises c.Parsetree.pc_rhs) ->
+        add ~loc:p.Parsetree.ppat_loc swallow_msg
+    | _ ->
+        if
+          protected
+          && catch_all c.Parsetree.pc_lhs
+          && c.Parsetree.pc_guard = None
+          && not (reraises c.Parsetree.pc_rhs)
+        then add ~loc:c.Parsetree.pc_lhs.Parsetree.ppat_loc swallow_msg
+  in
+  let expr (self : Ast_iterator.iterator) (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt; loc } when audited -> (
+        match ident_path txt with
+        | [ ("open_out" | "open_out_bin" | "open_out_gen") as f ] ->
+            add ~loc
+              (Printf.sprintf
+                 "bare %s in a durability-audited module; persistent \
+                  state must go through Durable.atomic_write (tmp + \
+                  fsync + rename + parent-dir fsync) or carry an \
+                  allowlist entry saying why a torn file is safe here"
+                 f)
+        | _ -> ())
+    | Parsetree.Pexp_try (body, cases) when is_lib scope ->
+        List.iter (flag_case (mentions_recovery_layer body)) cases
+    | Parsetree.Pexp_match (scrut, cases) when is_lib scope ->
+        let protected = mentions_recovery_layer scrut in
+        List.iter
+          (fun (c : Parsetree.case) ->
+            match c.Parsetree.pc_lhs.Parsetree.ppat_desc with
+            | Parsetree.Ppat_exception _ -> flag_case protected c
+            | _ -> ())
+          cases
+    | _ -> ());
+    Ast_iterator.default_iterator.Ast_iterator.expr self e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.Ast_iterator.structure it str;
+  !acc
+
 (* --- entry points ----------------------------------------------------- *)
 
 let check_structure ~path (str : Parsetree.structure) =
@@ -377,7 +514,12 @@ let check_structure ~path (str : Parsetree.structure) =
   let exprs = expression_findings ~path ~scope str in
   let globals = if is_lib scope then toplevel_mutable_findings ~path str else [] in
   let hot_io = if is_hot_io path then hot_io_findings ~path str else [] in
-  exprs @ globals @ hot_io
+  let durability =
+    if is_durable_audited path || is_lib scope then
+      durability_findings ~path ~scope str
+    else []
+  in
+  exprs @ globals @ hot_io @ durability
 
 (* Interfaces carry no expressions, so only parse errors (reported by the
    engine) apply today; kept as a hook for future signature rules. *)
@@ -433,5 +575,12 @@ let descriptions =
        (lib/serve, lib/ring/trace.ml, lib/util/binc.ml) — the ingest path \
        decodes in blocks; the channel fallback is allowlisted with its \
        justification" );
+    ( "r9-durability",
+      "no bare open_out / open_out_bin / open_out_gen in the \
+       durability-audited modules (lib/serve, lib/workloads/trace_codec.ml, \
+       lib/workloads/trace_io.ml, lib/util/durable.ml) — persistent state \
+       goes through Durable.atomic_write; and no catch-all handlers \
+       around Fault/Durable call sites in lib/, which would swallow \
+       Injected_crash and blind the crash matrix" );
     ("parse-error", "file must parse with the OCaml 5.1 grammar");
   ]

@@ -21,7 +21,15 @@
       and closures allocated inside [while]/[for] bodies in the audited
       hot-IO modules (lib/serve, lib/ring/trace.ml, lib/util/binc.ml);
       the channel fallback for pipes is allowlisted with its
-      justification. *)
+      justification.
+    - [r9-durability] — bare [open_out*] in the durability-audited
+      modules (lib/serve, the trace writers, lib/util/durable.ml itself),
+      where persistent state must route through [Durable.atomic_write];
+      and catch-all exception handlers around [Fault.*]/[Durable.*] call
+      sites in lib/, which would swallow [Injected_crash] and blind the
+      crash-recovery tests.  Founding exceptions (the atomic-write
+      helper, the deliberate tear path, the regenerable trace writers)
+      are allowlisted with their justifications. *)
 
 type scope = { area : [ `Lib | `Bin | `Bench | `Other ]; sublib : string option }
 
@@ -35,8 +43,8 @@ val is_hot : scope -> bool
 val is_lib : scope -> bool
 
 val check_structure : path:string -> Parsetree.structure -> Finding.t list
-(** All expression-level rules (R1, R2, R3, R5, R7) plus the top-level
-    mutable-state rule (R4) over one implementation file. *)
+(** All expression-level rules (R1, R2, R3, R5, R7, R8, R9) plus the
+    top-level mutable-state rule (R4) over one implementation file. *)
 
 val check_signature : path:string -> Parsetree.signature -> Finding.t list
 (** Interface files: no expression rules apply today; hook for future

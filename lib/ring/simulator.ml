@@ -176,6 +176,15 @@ let step_with st e serve_now =
 
 let step st e = step_with st e (fun () -> st.alg.Online.serve e)
 
+(* A degraded "never-move" accounting step: the request is billed exactly
+   as if a never-move algorithm had served it (communication charged when
+   the edge is cut, zero migrations, loads unchanged) but the real
+   algorithm is not consulted, so an over-budget or stalled solver is
+   bypassed without losing cost accounting.  The serving engine records
+   which positions were served this way so a checkpoint replay reproduces
+   the identical call sequence. *)
+let step_frozen st e = step_with st e (fun () -> ())
+
 (* Batched stepping: pre-solve the algorithm's decisions for the whole
    batch (in parallel, when the algorithm provides [Online.batch]), then
    play them through the exact per-request accounting above.  All edges are

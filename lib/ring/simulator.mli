@@ -76,6 +76,16 @@ val step : stepper -> int -> int * int
     {!stepper_result}.  Raises [Invalid_argument] if [e] is out of
     [\[0, n)]. *)
 
+val step_frozen : stepper -> int -> int * int
+(** [step_frozen st e] serves one request on the degraded never-move
+    path: communication is charged iff [e] is currently cut, the
+    algorithm's [serve] is {e not} called, no migrations occur, and the
+    load maximum / capacity check / step counter advance as usual.  Used
+    by the serving engine when a per-request solver budget is exceeded —
+    and during checkpoint replay of positions recorded as degraded, so
+    resumption remains byte-identical.  Raises [Invalid_argument] if [e]
+    is out of [\[0, n)]. *)
+
 val prepare : stepper -> int array -> int -> int * int
 (** [prepare st edges] pre-solves a whole batch of requests and returns a
     [play] function; [play j] performs the accounting of

@@ -1,4 +1,6 @@
 module Binc = Rbgp_util.Binc
+module Crc32 = Rbgp_util.Crc32
+module Durable = Rbgp_util.Durable
 
 type t = {
   alg : string;
@@ -16,10 +18,12 @@ type t = {
   violations : int;
   assignment : int array;
   alg_state : string option;
+  degraded : int array;
+  degraded_left : int;
 }
 
 let magic = "RBGC"
-let version = 1
+let version = 2
 
 let fail ?(path = "<string>") fmt =
   Printf.ksprintf
@@ -36,7 +40,16 @@ let read_float ?path r =
   | Some f -> f
   | None -> fail ?path "bad float literal %S" s
 
-let to_string t =
+(* v1 layout: magic, varint version, Binc-framed fields through alg_state.
+   v2 appends the degraded-span record (flattened (start, len) pairs plus
+   the in-flight cooloff remainder) and a little-endian CRC-32 trailer
+   over every preceding byte, so torn or bit-flipped records are detected
+   before any field is trusted. *)
+let to_string ?(version = version) t =
+  if version <> 1 && version <> 2 then
+    invalid_arg (Printf.sprintf "Checkpoint.to_string: unknown version %d" version);
+  if version = 1 && (Array.length t.degraded > 0 || t.degraded_left > 0) then
+    invalid_arg "Checkpoint.to_string: degraded spans need version >= 2";
   let buf = Buffer.create (64 + (8 * (t.pos + t.n))) in
   Buffer.add_string buf magic;
   Binc.add_varint buf version;
@@ -59,6 +72,15 @@ let to_string t =
   | Some s ->
       Binc.add_varint buf 1;
       Binc.add_string buf s);
+  if version >= 2 then begin
+    Binc.add_int_array buf t.degraded;
+    Binc.add_varint buf t.degraded_left;
+    let crc = Crc32.string (Buffer.contents buf) in
+    Buffer.add_char buf (Char.chr (crc land 0xff));
+    Buffer.add_char buf (Char.chr ((crc lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr ((crc lsr 16) land 0xff));
+    Buffer.add_char buf (Char.chr ((crc lsr 24) land 0xff))
+  end;
   Buffer.contents buf
 
 let of_string ?path s =
@@ -68,7 +90,27 @@ let of_string ?path s =
   let r = Binc.reader ~pos:(String.length magic) s in
   (try
      let v = Binc.read_varint r in
-     if v <> version then fail ?path "unsupported checkpoint version %d" v;
+     if v <> 1 && v <> 2 then fail ?path "unsupported checkpoint version %d" v;
+     let body_end =
+       if v >= 2 then begin
+         (* verify the CRC trailer before trusting any field *)
+         let len = String.length s in
+         if len < Binc.reader_pos r + 4 then
+           fail ?path "torn record (no room for CRC trailer, %d bytes)" len;
+         let stored =
+           Char.code s.[len - 4]
+           lor (Char.code s.[len - 3] lsl 8)
+           lor (Char.code s.[len - 2] lsl 16)
+           lor (Char.code s.[len - 1] lsl 24)
+         in
+         let actual = Crc32.string ~len:(len - 4) s in
+         if stored <> actual then
+           fail ?path "CRC mismatch (stored %08x, computed %08x over %d bytes)"
+             stored actual (len - 4);
+         len - 4
+       end
+       else String.length s
+     in
      let alg = Binc.read_string r in
      let epsilon = read_float ?path r in
      let seed = Binc.read_zigzag r in
@@ -89,24 +131,50 @@ let of_string ?path s =
        | 1 -> Some (Binc.read_string r)
        | tag -> fail ?path "bad alg_state tag %d" tag
      in
+     (* explicit sequencing: tuple components evaluate right-to-left *)
+     let degraded = if v >= 2 then Binc.read_int_array r else [||] in
+     let degraded_left = if v >= 2 then Binc.read_varint r else 0 in
+     if v >= 2 && Binc.reader_pos r <> body_end then
+       fail ?path "record has %d trailing bytes before the CRC"
+         (body_end - Binc.reader_pos r);
      if Array.length prefix <> pos then
        fail ?path "prefix length %d does not match pos %d"
          (Array.length prefix) pos;
      if Array.length initial <> n || Array.length assignment <> n then
        fail ?path "assignment arrays do not match n = %d" n;
+     if Array.length degraded land 1 <> 0 then
+       fail ?path "degraded span record has odd length %d"
+         (Array.length degraded);
      {
        alg; epsilon; seed; n; ell; k; initial; pos; prefix;
        comm; mig; max_load; violations; assignment; alg_state;
+       degraded; degraded_left;
      }
    with Invalid_argument msg when String.length msg >= 4
                                   && String.equal (String.sub msg 0 4) "Binc"
      -> fail ?path "torn record (%s)" msg)
 
+(* All checkpoint bytes reach disk through [Durable.atomic_write] — except
+   when the fault plan tears this write, in which case the truncated bytes
+   are deliberately written straight to the final path (modelling a legacy
+   non-atomic writer or a device that acknowledged an incomplete flush)
+   and the process "dies": recovery must then fall back to an older
+   generation, which is exactly what the crash matrix exercises. *)
 let write ~path t =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string t))
+  let data = to_string t in
+  match Fault.checkpoint_write_plan ~len:(String.length data) with
+  | `Full -> Durable.atomic_write ~path data
+  | `Flip bit ->
+      let b = Bytes.of_string data in
+      let i = bit lsr 3 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit land 7))));
+      Durable.atomic_write ~path (Bytes.unsafe_to_string b)
+  | `Tear keep ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (String.sub data 0 (min keep (String.length data))));
+      raise (Fault.Injected_crash (Printf.sprintf "ckpt-tear (%d bytes kept)" keep))
 
 let read ~path =
   let ic = open_in_bin path in
@@ -116,13 +184,68 @@ let read ~path =
       let len = in_channel_length ic in
       of_string ~path (really_input_string ic len))
 
+let verify ~path =
+  match read ~path with
+  | t -> Ok t
+  | exception Invalid_argument msg -> Error msg
+  | exception Sys_error msg -> Error msg
+
+(* --- rolling generations ---------------------------------------------- *)
+
+let generation_path path g =
+  if g = 0 then path else Printf.sprintf "%s.%d" path g
+
+(* Rotate before writing: if the process dies between the rotation and the
+   new write, [path] is missing but [path.1] holds the previous good
+   generation, so [read_latest] still recovers. *)
+let write_rolling ~path ~keep t =
+  if keep < 1 then invalid_arg "Checkpoint.write_rolling: keep < 1";
+  for g = keep - 2 downto 0 do
+    let src = generation_path path g in
+    if Sys.file_exists src then Sys.rename src (generation_path path (g + 1))
+  done;
+  write ~path t
+
+type recovery = {
+  ckpt : t;
+  generation : int;
+  skipped : (string * string) list;
+}
+
+let read_latest ?(generations = 8) ~path () =
+  let rec scan g skipped =
+    if g >= generations then
+      match skipped with
+      | [] ->
+          fail ~path "no checkpoint generation found (looked at %d paths)"
+            generations
+      | _ ->
+          fail ~path "no verifiable checkpoint generation: %s"
+            (String.concat "; "
+               (List.rev_map (fun (p, m) -> Printf.sprintf "%s: %s" p m) skipped))
+    else
+      let p = generation_path path g in
+      if not (Sys.file_exists p) then
+        (* a missing newest generation is normal right after rotation; a
+           gap below an existing one just means fewer generations kept *)
+        scan (g + 1) skipped
+      else
+        match read ~path:p with
+        | ckpt -> { ckpt; generation = g; skipped = List.rev skipped }
+        | exception Invalid_argument msg -> scan (g + 1) ((p, msg) :: skipped)
+        | exception Sys_error msg -> scan (g + 1) ((p, msg) :: skipped)
+  in
+  scan 0 []
+
 let to_json t =
   Printf.sprintf
     "{\"type\":\"checkpoint\",\"version\":%d,\"alg\":\"%s\",\"epsilon\":%g,\
      \"seed\":%d,\"n\":%d,\"ell\":%d,\"k\":%d,\"pos\":%d,\"comm\":%d,\
      \"mig\":%d,\"max_load\":%d,\"violations\":%d,\"explicit_state\":%b,\
-     \"prefix_len\":%d}"
+     \"prefix_len\":%d,\"degraded_spans\":%d,\"degraded_left\":%d}"
     version t.alg t.epsilon t.seed t.n t.ell t.k t.pos t.comm t.mig
     t.max_load t.violations
     (Option.is_some t.alg_state)
     (Array.length t.prefix)
+    (Array.length t.degraded / 2)
+    t.degraded_left

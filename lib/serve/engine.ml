@@ -26,6 +26,15 @@ type t = {
   mutable prefix : int array;
   mutable pos : int;
   sanitize : bool;
+  (* solver-budget degradation: when a request's effective solve time
+     exceeds [budget_ns] (> 0 enables), the next [cooloff] requests are
+     served on the frozen never-move path, then the solver is re-promoted.
+     [spans] records every frozen stretch, newest first, so checkpoints
+     can reproduce the exact call sequence on replay. *)
+  mutable budget_ns : int;
+  mutable cooloff : int;
+  mutable degraded_left : int;
+  mutable spans : (int * int) list;
 }
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
@@ -109,6 +118,10 @@ let make_engine ?(strict = true) ?(accounting = `Auto) ?sanitize ~epsilon ~alg
     prefix = buf;
     pos = steps_done;
     sanitize;
+    budget_ns = 0;
+    cooloff = 64;
+    degraded_left = 0;
+    spans = [];
   }
 
 let create ?strict ?accounting ?sanitize ?(epsilon = 0.5) ~alg ~seed inst =
@@ -161,26 +174,115 @@ let ingest_step t e play =
     latency_ns;
   }
 
-let ingest t e = ingest_step t e (fun () -> Simulator.step t.stepper e)
+(* --- solver-budget degradation ---------------------------------------- *)
+
+let set_solver_budget t ~budget_ns ~cooloff =
+  if budget_ns < 0 then invalid_arg "Engine.set_solver_budget: negative budget";
+  if budget_ns > 0 && cooloff < 1 then
+    invalid_arg "Engine.set_solver_budget: cooloff < 1";
+  t.budget_ns <- budget_ns;
+  t.cooloff <- cooloff
+
+let degrading t = t.degraded_left > 0
+
+let degraded_spans t =
+  let l = List.rev t.spans in
+  let a = Array.make (2 * List.length l) 0 in
+  List.iteri
+    (fun i (s, len) ->
+      a.(2 * i) <- s;
+      a.((2 * i) + 1) <- len)
+    l;
+  a
+
+let spans_of_flat flat =
+  let r = ref [] in
+  for i = 0 to (Array.length flat / 2) - 1 do
+    r := (flat.(2 * i), flat.((2 * i) + 1)) :: !r
+  done;
+  !r
+
+(* Bookkeeping for one request just served frozen (pos already advanced):
+   extend the current span or open a new one, and count the re-promotion
+   when the cooloff ends. *)
+let note_frozen t =
+  let p = t.pos - 1 in
+  (match t.spans with
+  | (s, len) :: rest when s + len = p -> t.spans <- (s, len + 1) :: rest
+  | spans -> t.spans <- (p, 1) :: spans);
+  Metrics.note_degraded t.metrics;
+  t.degraded_left <- t.degraded_left - 1;
+  if t.degraded_left = 0 then Metrics.note_recovered t.metrics
+
+(* Was this request slow enough to degrade?  The effective time is the
+   measured solve latency plus any injected stall — virtual, so the fault
+   path stays deterministic and fast. *)
+let check_budget t ~latency_ns ~step =
+  if t.budget_ns > 0 then begin
+    let eff =
+      latency_ns
+      + (if Fault.armed () then Fault.solver_stall_ns ~step else 0)
+    in
+    if eff > t.budget_ns then t.degraded_left <- t.cooloff
+  end
+
+let ingest t e =
+  if Fault.armed () then Fault.crash_check ~step:t.pos;
+  if t.degraded_left > 0 then begin
+    let d = ingest_step t e (fun () -> Simulator.step_frozen t.stepper e) in
+    note_frozen t;
+    d
+  end
+  else begin
+    let d = ingest_step t e (fun () -> Simulator.step t.stepper e) in
+    check_budget t ~latency_ns:d.latency_ns ~step:d.step;
+    d
+  end
 
 let ingest_batch t edges =
-  if Array.length edges = 0 then [||]
+  let b = Array.length edges in
+  if b = 0 then [||]
+  else if t.degraded_left > 0 || Fault.armed () then begin
+    (* per-request path: frozen spans, crash points and injected stalls
+       land on exact request indices (the batched pre-solve would consult
+       the solver for requests that must be served frozen) *)
+    let out = ref [] in
+    Array.iter (fun e -> out := ingest t e :: !out) edges;
+    Array.of_list (List.rev !out)
+  end
   else begin
     let play = Simulator.prepare t.stepper edges in
-    Array.mapi (fun j e -> ingest_step t e (fun () -> play j)) edges
+    let ds = Array.mapi (fun j e -> ingest_step t e (fun () -> play j)) edges in
+    (* degradation triggers are evaluated at batch boundaries — a prepared
+       batch's [play j] must run for every j in order, so the switch to the
+       frozen path applies from the next batch on *)
+    if t.budget_ns > 0 then begin
+      let worst = ref 0 in
+      Array.iter (fun d -> if d.latency_ns > !worst then worst := d.latency_ns) ds;
+      if !worst > t.budget_ns then t.degraded_left <- t.cooloff
+    end;
+    ds
   end
 
 (* The no-decision fast path: same accounting, replay prefix and
    checkpoint-observable state as [ingest_batch], but two clock reads and
    one aggregate metrics record per *batch* instead of per request, and no
    decision records allocated — the dominant per-request overheads once
-   the solver itself is cheap (see the BENCH_5 ingest section).  The
+   the solver itself is cheap (see the bench ingest section).  The
    sanitizer needs per-request before/after scalars, so sanitizing
    engines keep the checked path. *)
 let ingest_batch_quiet t edges =
   let b = Array.length edges in
   if b = 0 then ()
-  else if t.sanitize then ignore (ingest_batch t edges)
+  else if
+    t.sanitize || t.degraded_left > 0
+    || (Fault.armed () && Fault.request_fault_pending ~lo:t.pos ~hi:(t.pos + b))
+  then
+    (* blocks that need per-request treatment — sanitizing engines, an
+       active degradation cooloff, or a counted fault landing inside this
+       block — take the checked path; an armed-but-quiet fault plan costs
+       this one range check per block (gated <2% in the bench) *)
+    ignore (ingest_batch t edges)
   else begin
     let prev = Simulator.stepper_result t.stepper in
     (* capture scalars: the stepper's cost record is mutated in place *)
@@ -198,7 +300,9 @@ let ingest_batch_quiet t edges =
     Metrics.observe_batch t.metrics ~count:b ~latency_ns
       ~comm:(r.Simulator.cost.Cost.comm - prev_comm)
       ~mig:(r.Simulator.cost.Cost.mig - prev_mig)
-      ~max_load:r.Simulator.max_load
+      ~max_load:r.Simulator.max_load;
+    if t.budget_ns > 0 && latency_ns / b > t.budget_ns then
+      t.degraded_left <- t.cooloff
   end
 
 let pos t = t.pos
@@ -226,6 +330,8 @@ let checkpoint t =
     assignment = assignment t;
     alg_state =
       Option.map (fun snap -> snap ()) t.online.Online.snapshot;
+    degraded = degraded_spans t;
+    degraded_left = t.degraded_left;
   }
 
 let verify_against (ckpt : Checkpoint.t) t ~how =
@@ -286,6 +392,8 @@ let resume ?(strict = true) ?(accounting = `Auto) ?sanitize
           online
       in
       verify_against ckpt t ~how:"explicit state restore";
+      t.spans <- spans_of_flat ckpt.Checkpoint.degraded;
+      t.degraded_left <- ckpt.Checkpoint.degraded_left;
       t
   | _ ->
       (* deterministic prefix replay: rebuild from (alg, epsilon, seed,
@@ -295,18 +403,45 @@ let resume ?(strict = true) ?(accounting = `Auto) ?sanitize
         make_engine ~strict ~accounting ?sanitize ~epsilon:ckpt.Checkpoint.epsilon
           ~alg:ckpt.Checkpoint.alg ~seed:ckpt.Checkpoint.seed inst online
       in
-      (* replay through the batched path: byte-identical to per-request
-         ingest by the Online.batch contract, and sharded across domains
-         for algorithms that support it, so long prefixes resume faster *)
       let m = Array.length ckpt.Checkpoint.prefix in
-      let chunk = 8192 in
-      let at = ref 0 in
-      while !at < m do
-        let len = Stdlib.min chunk (m - !at) in
-        ignore (ingest_batch t (Array.sub ckpt.Checkpoint.prefix !at len));
-        at := !at + len
-      done;
+      if Array.length ckpt.Checkpoint.degraded = 0 then begin
+        (* replay through the batched path: byte-identical to per-request
+           ingest by the Online.batch contract, and sharded across domains
+           for algorithms that support it, so long prefixes resume faster *)
+        let chunk = 8192 in
+        let at = ref 0 in
+        while !at < m do
+          let len = Stdlib.min chunk (m - !at) in
+          ignore (ingest_batch t (Array.sub ckpt.Checkpoint.prefix !at len));
+          at := !at + len
+        done
+      end
+      else begin
+        (* span-aware replay: positions the live run served on the frozen
+           never-move path are replayed frozen, everything else through
+           the solver — the exact call sequence of the original run *)
+        let spans = ckpt.Checkpoint.degraded in
+        let nspans = Array.length spans / 2 in
+        let si = ref 0 in
+        let cur_edge = ref 0 and cur_frozen = ref false in
+        let play () =
+          if !cur_frozen then Simulator.step_frozen t.stepper !cur_edge
+          else Simulator.step t.stepper !cur_edge
+        in
+        for i = 0 to m - 1 do
+          while
+            !si < nspans && spans.(2 * !si) + spans.((2 * !si) + 1) <= i
+          do
+            incr si
+          done;
+          cur_frozen := !si < nspans && spans.(2 * !si) <= i;
+          cur_edge := ckpt.Checkpoint.prefix.(i);
+          ignore (ingest_step t !cur_edge play)
+        done
+      end;
       verify_against ckpt t ~how:"prefix replay";
+      t.spans <- spans_of_flat ckpt.Checkpoint.degraded;
+      t.degraded_left <- ckpt.Checkpoint.degraded_left;
       Metrics.reset t.metrics;
       t
 

@@ -25,7 +25,30 @@
     charges are unit-sized, and cumulative costs and the running max load
     are monotone.  The first violated invariant raises [Failure] with the
     offending request index.  Off by default — the checks are [O(n)] per
-    request. *)
+    request.
+
+    {2 Solver budget and degraded serving}
+
+    {!set_solver_budget} arms a per-request solve-time budget: when a
+    request's effective latency (measured, plus any {!Fault}-injected
+    stall) exceeds it, the next [cooloff] requests are served on the
+    frozen never-move path ({!Rbgp_ring.Simulator.step_frozen}) — the
+    solver is bypassed, communication is still billed, nothing moves —
+    and the solver is re-promoted after the cooloff.  Frozen stretches
+    are counted in {!Metrics} ([degraded]/[recovered]) and recorded as
+    spans in every {!checkpoint}, so {!resume} replays the identical
+    call sequence and the determinism contract survives degradation.
+    Degradation triggers are evaluated at request boundaries (batch
+    boundaries on the batched paths — a prepared batch is never split).
+
+    {2 Fault hooks}
+
+    When a {!Fault} plan is armed, ingest checks for planned crashes
+    ([Injected_crash] before the designated request) and consults the
+    plan for injected solver stalls; the batched paths fall back to
+    per-request serving (identical decisions by the batch contract) so
+    counted faults land on exact request indices.  Disarmed, the hooks
+    cost one reference read per request or block. *)
 
 type decision = {
   step : int;  (** 0-based index of the request just served *)
@@ -84,6 +107,19 @@ val ingest_batch_quiet : t -> int array -> unit
     and the engine half of the BENCH_5 million-req/s number.  Sanitizing
     engines transparently fall back to the checked per-request path. *)
 
+val set_solver_budget : t -> budget_ns:int -> cooloff:int -> unit
+(** Arm ([budget_ns > 0]) or disarm ([budget_ns = 0]) the per-request
+    solver budget; [cooloff] is the length of each frozen stretch.
+    Raises [Invalid_argument] on a negative budget or, when arming,
+    [cooloff < 1]. *)
+
+val degrading : t -> bool
+(** Currently inside a frozen cooloff stretch? *)
+
+val degraded_spans : t -> int array
+(** Flattened [(start, len)] pairs of every frozen stretch so far, in
+    position order — the same record a {!checkpoint} carries. *)
+
 val pos : t -> int
 (** Requests served so far (including any checkpointed prefix). *)
 
@@ -97,8 +133,8 @@ val metrics : t -> Metrics.t
 
 val checkpoint : t -> Checkpoint.t
 (** Snapshot the run: instance parameters, seed, served prefix, cumulative
-    costs, current assignment, and the algorithm's explicit state when it
-    implements the snapshot hook. *)
+    costs, current assignment, the algorithm's explicit state when it
+    implements the snapshot hook, and the degraded-span record. *)
 
 val resume :
   ?strict:bool ->

@@ -8,6 +8,8 @@ type t = {
   mutable max_load : int;
   mutable lat_sum_ns : float;
   mutable t0 : float;
+  mutable degraded : int;
+  mutable recovered : int;
 }
 
 let create () =
@@ -19,6 +21,8 @@ let create () =
     max_load = 0;
     lat_sum_ns = 0.0;
     t0 = Unix.gettimeofday ();
+    degraded = 0;
+    recovered = 0;
   }
 
 let reset t =
@@ -28,7 +32,9 @@ let reset t =
   t.mig <- 0;
   t.max_load <- 0;
   t.lat_sum_ns <- 0.0;
-  t.t0 <- Unix.gettimeofday ()
+  t.t0 <- Unix.gettimeofday ();
+  t.degraded <- 0;
+  t.recovered <- 0
 
 let bucket_of ns =
   if ns <= 1 then 0
@@ -61,10 +67,18 @@ let observe_batch t ~count ~latency_ns ~comm ~mig ~max_load =
     t.lat_sum_ns <- t.lat_sum_ns +. float_of_int latency_ns
   end
 
+(* Solver-budget degradation accounting: [note_degraded] counts requests
+   served on the frozen never-move path, [note_recovered] counts
+   re-promotions back to the real solver after a quiet interval. *)
+let note_degraded ?(count = 1) t = t.degraded <- t.degraded + count
+let note_recovered t = t.recovered <- t.recovered + 1
+
 let requests t = t.requests
 let comm t = t.comm
 let mig t = t.mig
 let max_load t = t.max_load
+let degraded t = t.degraded
+let recovered t = t.recovered
 
 let elapsed_s t = Unix.gettimeofday () -. t.t0
 
@@ -101,13 +115,16 @@ let to_json t =
   Printf.sprintf
     "{\"type\":\"metrics\",\"requests\":%d,\"rps\":%.1f,\"p50_ns\":%d,\
      \"p90_ns\":%d,\"p99_ns\":%d,\"mean_ns\":%.0f,\"comm\":%d,\"mig\":%d,\
-     \"max_load\":%d,\"elapsed_s\":%.3f}"
+     \"max_load\":%d,\"degraded\":%d,\"recovered\":%d,\"elapsed_s\":%.3f}"
     t.requests (rps t) (quantile t 0.5) (quantile t 0.9) (quantile t 0.99)
-    (mean_latency_ns t) t.comm t.mig t.max_load (elapsed_s t)
+    (mean_latency_ns t) t.comm t.mig t.max_load t.degraded t.recovered
+    (elapsed_s t)
 
 let summary t =
   Printf.sprintf
     "served %d requests in %.2fs (%.0f req/s); ingest latency p50 %dns p90 \
-     %dns p99 %dns mean %.0fns; cost comm=%d mig=%d; max load %d"
+     %dns p99 %dns mean %.0fns; cost comm=%d mig=%d; max load %d; degraded \
+     %d (recovered %d)"
     t.requests (elapsed_s t) (rps t) (quantile t 0.5) (quantile t 0.9)
-    (quantile t 0.99) (mean_latency_ns t) t.comm t.mig t.max_load
+    (quantile t 0.99) (mean_latency_ns t) t.comm t.mig t.max_load t.degraded
+    t.recovered

@@ -36,10 +36,20 @@ val observe_batch :
     records the batch {e mean} for each request, so quantiles reflect
     batch-level, not per-request, variation.  No-op when [count = 0]. *)
 
+val note_degraded : ?count:int -> t -> unit
+(** Count [count] (default 1) requests served on the degraded never-move
+    path because the per-request solver budget was exceeded. *)
+
+val note_recovered : t -> unit
+(** Count one re-promotion from the degraded path back to the real
+    solver after a quiet interval. *)
+
 val requests : t -> int
 val comm : t -> int
 val mig : t -> int
 val max_load : t -> int
+val degraded : t -> int
+val recovered : t -> int
 
 val elapsed_s : t -> float
 val rps : t -> float

@@ -1,6 +1,7 @@
 module Trace_io = Rbgp_workloads.Trace_io
 module Trace_codec = Rbgp_workloads.Trace_codec
 module Binc = Rbgp_util.Binc
+module Durable = Rbgp_util.Durable
 
 type format = [ `Auto | `Text | `Binary ]
 type mmap = [ `Auto | `On | `Off ]
@@ -32,6 +33,17 @@ let check_header ~path ~n (hdr : Trace_codec.header) =
     fail ~path "binary trace is for n = %d, expected n = %d"
       hdr.Trace_codec.n n
 
+(* Each channel pull runs inside [Durable.retry_transient] with the fault
+   layer's [before_read] hook in the same thunk: a transient EINTR/EAGAIN
+   — real or injected — is retried with bounded attempts before it
+   surfaces.  The retried thunk is built once per source, not per pull. *)
+let wrap_reads next_req =
+  let raw () =
+    Fault.before_read ();
+    next_req ()
+  in
+  fun () -> Durable.retry_transient raw
+
 let of_channel ?(path = "<channel>") ?(owns_channel = false) ~format ~n ic =
   (* every construction failure (header parse, n mismatch) releases the
      channel when this source was to own it — not just the open_file
@@ -45,7 +57,8 @@ let of_channel ?(path = "<channel>") ?(owns_channel = false) ~format ~n ic =
             Channel
               {
                 next_req =
-                  (fun () -> Trace_io.input_request_opt ~path ~lineno ic ~n);
+                  wrap_reads (fun () ->
+                      Trace_io.input_request_opt ~path ~lineno ic ~n);
                 ic;
                 owns = owns_channel;
               };
@@ -60,7 +73,9 @@ let of_channel ?(path = "<channel>") ?(owns_channel = false) ~format ~n ic =
           backend =
             Channel
               {
-                next_req = (fun () -> Trace_codec.input_request_opt ~path ic ~n);
+                next_req =
+                  wrap_reads (fun () ->
+                      Trace_codec.input_request_opt ~path ic ~n);
                 ic;
                 owns = owns_channel;
               };
@@ -93,10 +108,38 @@ let open_file ?(format = `Auto) ?(mmap = `Auto) ~n path =
   | `Binary, (`Auto | `Off) | `Text, _ ->
       of_channel ~path ~owns_channel:true ~format ~n (open_in_bin path)
 
+(* An injected frame corruption must surface exactly like a real decode
+   failure, so mangled values are re-validated here with an offset-bearing
+   message. *)
+let check_injected t e =
+  if e < 0 || e >= t.n then
+    fail ~path:t.path "injected corruption: edge %d out of [0, %d)" e t.n;
+  e
+
+let revalidate_batch t dst got =
+  for j = 0 to got - 1 do
+    if dst.(j) < 0 || dst.(j) >= t.n then
+      fail ~path:t.path
+        "injected corruption: edge %d out of [0, %d) at batch index %d"
+        dst.(j) t.n j
+  done
+
 let next t =
   match t.backend with
-  | Channel c -> c.next_req ()
-  | Mapped m -> Trace_codec.region_request_opt ~path:m.path m.region ~n:t.n
+  | Channel c ->
+      let r = c.next_req () in
+      if Fault.armed () then
+        Option.map (fun e -> check_injected t (Fault.mangle_one e)) r
+      else r
+  | Mapped m ->
+      if Fault.armed () then
+        let r =
+          Durable.retry_transient (fun () ->
+              Fault.before_read ();
+              Trace_codec.region_request_opt ~path:m.path m.region ~n:t.n)
+        in
+        Option.map (fun e -> check_injected t (Fault.mangle_one e)) r
+      else Trace_codec.region_request_opt ~path:m.path m.region ~n:t.n
 
 let next_batch t dst ~limit =
   if limit < 0 || limit > Array.length dst then
@@ -104,7 +147,19 @@ let next_batch t dst ~limit =
       (Array.length dst);
   match t.backend with
   | Mapped m ->
-      Trace_codec.decode_requests_into ~path:m.path m.region ~n:t.n dst ~limit
+      if Fault.armed () then begin
+        let got =
+          Durable.retry_transient (fun () ->
+              Fault.before_read ();
+              Trace_codec.decode_requests_into ~path:m.path m.region ~n:t.n
+                dst ~limit)
+        in
+        if Fault.mangle_batch dst ~got then revalidate_batch t dst got;
+        got
+      end
+      else
+        Trace_codec.decode_requests_into ~path:m.path m.region ~n:t.n dst
+          ~limit
   | Channel c ->
       let got = ref 0 in
       let continue = ref (!got < limit) in
@@ -116,6 +171,8 @@ let next_batch t dst ~limit =
             continue := !got < limit
         | None -> continue := false
       done;
+      if Fault.armed () && Fault.mangle_batch dst ~got:!got then
+        revalidate_batch t dst !got;
       !got
 
 let header t = t.hdr

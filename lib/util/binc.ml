@@ -24,11 +24,13 @@ type reader = { data : string; mutable pos : int }
 
 let reader ?(pos = 0) data = { data; pos }
 
+let truncated who pos =
+  invalid_arg (Printf.sprintf "Binc.%s: truncated input at byte %d" who pos)
+
 let read_varint r =
   let v = ref 0 and shift = ref 0 and continue = ref true in
   while !continue do
-    if r.pos >= String.length r.data then
-      invalid_arg "Binc.read_varint: truncated input";
+    if r.pos >= String.length r.data then truncated "read_varint" r.pos;
     if !shift > 62 then invalid_arg "Binc.read_varint: varint too long";
     let b = Char.code r.data.[r.pos] in
     r.pos <- r.pos + 1;
@@ -42,8 +44,7 @@ let read_zigzag r = unzigzag (read_varint r)
 
 let read_string r =
   let len = read_varint r in
-  if r.pos + len > String.length r.data then
-    invalid_arg "Binc.read_string: truncated input";
+  if r.pos + len > String.length r.data then truncated "read_string" r.pos;
   let s = String.sub r.data r.pos len in
   r.pos <- r.pos + len;
   s
@@ -53,6 +54,7 @@ let read_int_array r =
   Array.init len (fun _ -> read_zigzag r)
 
 let at_end r = r.pos >= String.length r.data
+let reader_pos r = r.pos
 
 (* --- block decoding over byte regions --------------------------------- *)
 
@@ -80,7 +82,7 @@ let region_at_end r = r.rpos >= r.rend
 
 let region_read_string r len =
   if len < 0 || r.rpos + len > r.rend then
-    invalid_arg "Binc.region_read_string: truncated input";
+    truncated "region_read_string" r.rpos;
   let b = Bytes.create len in
   for i = 0 to len - 1 do
     Bytes.set b i (Bigarray.Array1.get r.big (r.rpos + i))
@@ -91,8 +93,7 @@ let region_read_string r len =
 let region_read_varint r =
   let v = ref 0 and shift = ref 0 and continue = ref true in
   while !continue do
-    if r.rpos >= r.rend then
-      invalid_arg "Binc.region_read_varint: truncated input";
+    if r.rpos >= r.rend then truncated "region_read_varint" r.rpos;
     if !shift > 62 then invalid_arg "Binc.region_read_varint: varint too long";
     let b = Char.code (Bigarray.Array1.get r.big r.rpos) in
     r.rpos <- r.rpos + 1;
@@ -149,7 +150,7 @@ let decode_varints r out ~limit =
         (the region is the whole file), not end-of-stream *)
      if !count = 0 then begin
        r.rpos <- !pos;
-       invalid_arg "Binc.decode_varints: truncated input"
+       truncated "decode_varints" !pos
      end);
   r.rpos <- !pos;
   !count

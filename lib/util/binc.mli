@@ -31,8 +31,13 @@ val read_string : reader -> string
 val read_int_array : reader -> int array
 val at_end : reader -> bool
 
+val reader_pos : reader -> int
+(** Current byte offset of the cursor — used by checkpoint decoding to
+    reject trailing garbage and to report absolute offsets in errors. *)
+
 (** All [read_*] functions raise [Invalid_argument] on truncated input or
-    varints longer than 63 bits. *)
+    varints longer than 63 bits; truncation errors name the absolute byte
+    offset at which input ran out. *)
 
 (** {2 Block decoding over byte regions}
 

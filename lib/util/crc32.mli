@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3) checksums.
+
+    The reflected-polynomial variant used by zlib, PNG and Ethernet.
+    Checkpoint files append this as a little-endian 32-bit trailer so a
+    torn or bit-flipped record is detected before any field is trusted.
+    Results are in [\[0, 2^32)], carried in an OCaml [int]. *)
+
+val string : ?pos:int -> ?len:int -> string -> int
+(** [string s] is the CRC-32 of [s] (or of the designated substring). *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** [update crc s ~pos ~len] extends a running checksum, so a large
+    buffer can be streamed in chunks: [string s = update 0 s ...]. *)

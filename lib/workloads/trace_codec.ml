@@ -38,15 +38,21 @@ let input_request_opt ?path ic ~n =
   match Binc.input_varint_opt ic with
   | None -> None
   | Some e ->
-      if e < 0 || e >= n then fail ?path "edge %d out of [0, %d)" e n;
+      if e < 0 || e >= n then
+        fail ?path "edge %d out of [0, %d) (frame ends at byte %d)" e n
+          (pos_in ic);
       Some e
-  | exception Invalid_argument _ -> fail ?path "torn frame (truncated varint)"
+  | exception Invalid_argument _ ->
+      fail ?path "torn frame (truncated varint at byte %d)" (pos_in ic)
 
 (* --- zero-copy region path (mmap) ------------------------------------- *)
 
 let map ?path:path_label path =
   let label = match path_label with Some p -> p | None -> path in
-  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let fd =
+    Rbgp_util.Durable.retry_transient (fun () ->
+        Unix.openfile path [ Unix.O_RDONLY ] 0)
+  in
   match
     Bigarray.array1_of_genarray
       (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |])
@@ -66,7 +72,7 @@ let map ?path:path_label path =
    cannot be mmap'ed at all, and a zero-length mapping is rejected by the
    kernel while the channel path already reports "missing magic" for it. *)
 let can_map ~path =
-  match Unix.stat path with
+  match Rbgp_util.Durable.retry_transient (fun () -> Unix.stat path) with
   | { Unix.st_kind = Unix.S_REG; st_size; _ } -> st_size > 0
   | _ -> false
   | exception Unix.Unix_error _ -> false
@@ -93,13 +99,17 @@ let header_of_region ?path r =
    allocation.  Torn-tail behaviour mirrors [input_request_opt] frame for
    frame (see Binc.decode_varints). *)
 let decode_requests_into ?path r ~n out ~limit =
+  let block_start = Binc.region_pos r in
   let got =
     try Binc.decode_varints r out ~limit
-    with Invalid_argument _ -> fail ?path "torn frame (truncated varint)"
+    with Invalid_argument _ ->
+      fail ?path "torn frame (truncated varint at byte %d)" (Binc.region_pos r)
   in
   for j = 0 to got - 1 do
     let e = out.(j) in
-    if e < 0 || e >= n then fail ?path "edge %d out of [0, %d)" e n
+    if e < 0 || e >= n then
+      fail ?path "edge %d out of [0, %d) (request %d of block at byte %d)" e n
+        j block_start
   done;
   got
 
@@ -108,9 +118,12 @@ let region_request_opt ?path r ~n =
   else
     match Binc.region_read_varint r with
     | e ->
-        if e < 0 || e >= n then fail ?path "edge %d out of [0, %d)" e n;
+        if e < 0 || e >= n then
+          fail ?path "edge %d out of [0, %d) (frame ends at byte %d)" e n
+            (Binc.region_pos r);
         Some e
-    | exception Invalid_argument _ -> fail ?path "torn frame (truncated varint)"
+    | exception Invalid_argument _ ->
+        fail ?path "torn frame (truncated varint at byte %d)" (Binc.region_pos r)
 
 let write ~path ~n ?(ell = 0) ?(seed = 0) trace =
   let oc = open_out_bin path in

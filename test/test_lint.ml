@@ -183,6 +183,42 @@ let test_r8 () =
     ~path:"lib/serve/fake.ml"
     "let f a = Array.iter (fun x -> for _ = 0 to x do ignore x done) a"
 
+(* --- R9: durability hygiene -------------------------------------------- *)
+
+let test_r9 () =
+  check_flags "open_out_bin in lib/serve flagged" "r9-durability"
+    ~path:"lib/serve/fake.ml" "let f path = open_out_bin path";
+  check_flags "open_out in the trace writer flagged" "r9-durability"
+    ~path:"lib/workloads/trace_io.ml" "let f path = open_out path";
+  check_flags "open_out_gen in the binary trace writer flagged"
+    "r9-durability" ~path:"lib/workloads/trace_codec.ml"
+    "let f path = open_out_gen [ Open_binary ] 0o644 path";
+  check_flags "catch-all try around a Fault hook flagged" "r9-durability"
+    ~path:"lib/serve/fake.ml"
+    "let f step = try Fault.crash_check ~step with _ -> ()";
+  check_flags "bare-variable handler around Durable flagged" "r9-durability"
+    ~path:"lib/util/fake.ml"
+    "let f path d = try Durable.atomic_write ~path d with e -> ignore e";
+  check_flags "catch-all [exception _] around a Fault hook flagged"
+    "r9-durability" ~path:"lib/serve/fake.ml"
+    "let f step = match Fault.crash_check ~step with () -> 0 \
+     | exception _ -> 1";
+  check_clean "open_out outside the audited modules is clean"
+    "r9-durability" ~path:"lib/harness/fake.ml"
+    "let f path = open_out path";
+  check_clean "open_out in bin/ is clean" "r9-durability" ~path:"bin/fake.ml"
+    "let f path = open_out_bin path";
+  check_clean "named handler around a Fault hook is clean" "r9-durability"
+    ~path:"lib/serve/fake.ml"
+    "let f step = try Fault.crash_check ~step with Not_found -> ()";
+  check_clean "re-raising handler around Durable is clean" "r9-durability"
+    ~path:"lib/util/fake.ml"
+    "let f path d = try Durable.atomic_write ~path d with e -> ignore d; \
+     raise e";
+  check_clean "catch-all far from the recovery layer is only r5"
+    "r9-durability" ~path:"lib/offline/fake.ml"
+    "let f g = try g () with _ -> ()"
+
 (* --- parse errors ------------------------------------------------------ *)
 
 let test_parse_error () =
@@ -358,6 +394,7 @@ let () =
           Alcotest.test_case "r6 missing interfaces" `Quick test_r6;
           Alcotest.test_case "r7 domain safety" `Quick test_r7;
           Alcotest.test_case "r8 hot-IO hygiene" `Quick test_r8;
+          Alcotest.test_case "r9 durability hygiene" `Quick test_r9;
           Alcotest.test_case "parse errors are findings" `Quick
             test_parse_error;
         ] );

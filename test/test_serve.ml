@@ -643,6 +643,71 @@ let test_source_mmap_vs_channel_serve_identity () =
       check_outcome "mmap quiet == channel instrumented" reference
         (serve ~mmap:`On ~quiet:true))
 
+(* Construction failures must release the channel exactly when the
+   source was to own it: open_file hands its descriptor straight to
+   of_channel, so a header-parse error without the close would leak an
+   fd per failed open.  A caller-owned channel must survive the same
+   failure untouched. *)
+let test_source_owned_channel_closed_on_header_error () =
+  with_temp ".rbt" (fun path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "NOTATRACE");
+      let ic = open_in_bin path in
+      (match Source.of_channel ~path ~owns_channel:true ~format:`Binary ~n:8 ic with
+      | _ -> Alcotest.fail "bad header accepted"
+      | exception Invalid_argument msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "message %S names the file" msg)
+            true
+            (Astring.String.is_infix ~affix:path msg));
+      (match input_byte ic with
+      | _ -> Alcotest.fail "owned channel still open after failed construction"
+      | exception Sys_error _ -> ());
+      let ic2 = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic2)
+        (fun () ->
+          (match
+             Source.of_channel ~path ~owns_channel:false ~format:`Binary ~n:8
+               ic2
+           with
+          | _ -> Alcotest.fail "bad header accepted"
+          | exception Invalid_argument _ -> ());
+          match input_byte ic2 with
+          | _ -> ()
+          | exception Sys_error _ ->
+              Alcotest.fail "caller-owned channel closed by failed construction"))
+
+(* A pipe that dies mid-frame (producer killed between the bytes of a
+   varint) must surface as a torn-frame decode error carrying the byte
+   offset, not as a silent end of stream. *)
+let test_source_pipe_eof_mid_frame () =
+  let n = 8 and ell = 4 in
+  let rd, wr = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr wr in
+  Trace_codec.output_header oc ~n ~ell ~seed:0;
+  Trace_codec.output_request oc 5;
+  output_byte oc 0x80 (* continuation bit set, next byte never arrives *);
+  close_out oc;
+  let ic = Unix.in_channel_of_descr rd in
+  let src =
+    Source.of_channel ~path:"<pipe>" ~owns_channel:true ~format:`Binary ~n ic
+  in
+  Fun.protect
+    ~finally:(fun () -> Source.close src)
+    (fun () ->
+      (match Source.next src with
+      | Some e -> Alcotest.(check int) "intact frame before the tear" 5 e
+      | None -> Alcotest.fail "complete frame reported as end of stream");
+      match Source.next src with
+      | _ -> Alcotest.fail "torn tail accepted"
+      | exception Invalid_argument msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "message %S reports a torn frame with offset" msg)
+            true
+            (Astring.String.is_infix ~affix:"torn frame" msg
+            && Astring.String.is_infix ~affix:"byte" msg))
+
 (* --- metrics -------------------------------------------------------- *)
 
 let test_metrics_histogram () =
@@ -768,6 +833,10 @@ let () =
             test_source_mmap_vs_channel_serve_identity;
           Alcotest.test_case "binary and text sources agree" `Quick
             test_source_binary_and_text_agree;
+          Alcotest.test_case "owned channel closed on header error" `Quick
+            test_source_owned_channel_closed_on_header_error;
+          Alcotest.test_case "pipe EOF mid-frame is a torn frame" `Quick
+            test_source_pipe_eof_mid_frame;
         ] );
       ( "metrics",
         [ Alcotest.test_case "log-bucketed histogram" `Quick test_metrics_histogram ] );
