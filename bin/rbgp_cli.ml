@@ -226,6 +226,9 @@ module Metrics = Rbgp_serve.Metrics
 module Ckpt = Rbgp_serve.Checkpoint
 module Source = Rbgp_serve.Source
 module Fault = Rbgp_serve.Fault
+module Net = Rbgp_serve.Net
+module Tenant = Rbgp_serve.Tenant
+module Proto = Rbgp_serve.Proto
 
 (* --faults wins over RBGP_FAULTS; with neither, hooks stay disabled. *)
 let configure_faults = function
@@ -550,6 +553,410 @@ let budget_cooloff_arg =
            path after a solver-budget overrun before re-promoting to the \
            full algorithm.")
 
+(* --- networked serving: rbgp serve --listen -------------------------- *)
+
+let dump_tenant_metrics router =
+  List.iter
+    (fun tn ->
+      match Tenant.metrics_snapshot tn with
+      | Some s ->
+          Printf.eprintf "[%s] %s\n" (Tenant.id tn)
+            (Metrics.summary_of_snapshot s)
+      | None -> ())
+    (Tenant.tenants router);
+  flush stderr
+
+let install_handler signal handler =
+  match Sys.set_signal signal (Sys.Signal_handle handler) with
+  | () -> ()
+  | exception (Invalid_argument _ | Sys_error _) -> ()
+
+let net_serve ~listen ~http ~checkpoint_dir ~checkpoint_every ~checkpoint_keep
+    ~accounting ~supervise =
+  let addr = Net.parse_addr listen in
+  let http = Option.map Net.parse_addr http in
+  (match checkpoint_dir with
+  | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+      else if not (Sys.is_directory dir) then
+        invalid_arg (Printf.sprintf "serve: --checkpoint-dir %s is a file" dir)
+  | None -> ());
+  let router =
+    Tenant.create ?checkpoint_dir ~checkpoint_every ~checkpoint_keep
+      ~accounting ()
+  in
+  let server = Net.server ?http ~supervise ~router addr in
+  (* request_drain only sets a flag, so it is safe from a signal
+     handler; the next select round performs the actual drain. *)
+  install_handler Sys.sigterm (fun _ -> Net.request_drain server);
+  install_handler Sys.sigint (fun _ -> Net.request_drain server);
+  install_handler Sys.sigusr1 (fun _ -> dump_tenant_metrics router);
+  install_handler Sys.sigpipe (fun _ -> ());
+  Logs.app (fun k ->
+      k "serving on %s%s%s" listen
+        (match http with
+        | Some a -> Printf.sprintf ", http on %s" (Net.addr_to_string a)
+        | None -> "")
+        (if supervise then " (supervised)" else ""));
+  Net.run server;
+  dump_tenant_metrics router
+
+let listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Serve over a socket instead of a trace/stdin: listen on ADDR \
+           (unix:PATH or tcp:HOST:PORT) speaking the RBGN framed binary \
+           protocol, hosting one engine per tenant routed by the frame \
+           stream id.  Tenants are configured by clients at OPEN time, so \
+           --alg/--n/--ell/--trace do not apply; --checkpoint-dir, \
+           --checkpoint-every, --checkpoint-keep, --accounting, --faults \
+           and --supervise do.")
+
+let http_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "http" ] ~docv:"ADDR"
+        ~doc:
+          "With --listen: also expose HTTP observability on ADDR \
+           (unix:PATH or tcp:HOST:PORT): GET /metrics (Prometheus text \
+           exposition of every tenant), /healthz and /tenants (JSON status \
+           including checkpoint age).")
+
+let checkpoint_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR"
+        ~doc:
+          "With --listen: per-tenant rolling durable checkpoints in DIR \
+           (DIR/<tenant>.ckpt), written every --checkpoint-every requests \
+           and at close/drain; re-opened tenants resume from the newest \
+           generation that verifies.")
+
+(* --- client: drive a networked server -------------------------------- *)
+
+type client_tenant_spec = {
+  ct_id : string;
+  ct_alg : string;
+  ct_n : int;
+  ct_ell : int;
+  ct_epsilon : float;
+  ct_seed : int;
+  ct_trace : string;
+  ct_out : string option;
+}
+
+let parse_tenant_spec s =
+  let kvs = String.split_on_char ',' s in
+  let find key =
+    List.find_map
+      (fun kv ->
+        match String.index_opt kv '=' with
+        | Some i when String.equal (String.sub kv 0 i) key ->
+            Some (String.sub kv (i + 1) (String.length kv - i - 1))
+        | _ -> None)
+      kvs
+  in
+  let int_of key default =
+    match find key with
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "tenant spec: bad %s=%s" key v))
+    | None -> Ok default
+  in
+  let float_of key default =
+    match find key with
+    | Some v -> (
+        match float_of_string_opt v with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "tenant spec: bad %s=%s" key v))
+    | None -> Ok default
+  in
+  match (find "id", find "trace") with
+  | None, _ -> Error "tenant spec: missing id="
+  | _, None -> Error "tenant spec: missing trace="
+  | Some id, Some trace -> (
+      match (int_of "n" 256, int_of "ell" 8, int_of "seed" 42,
+             float_of "epsilon" 0.5)
+      with
+      | Ok n, Ok ell, Ok seed, Ok epsilon ->
+          Ok
+            {
+              ct_id = id;
+              ct_alg = Option.value (find "alg") ~default:"onl-dynamic";
+              ct_n = n;
+              ct_ell = ell;
+              ct_epsilon = epsilon;
+              ct_seed = seed;
+              ct_trace = trace;
+              ct_out = find "out";
+            }
+      | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _
+      | _, _, _, Error e ->
+          Error e)
+
+let tenant_spec_conv =
+  let parse s =
+    match parse_tenant_spec s with Ok t -> Ok t | Error e -> Error (`Msg e)
+  in
+  let print fmt t = Format.pp_print_string fmt t.ct_id in
+  Arg.conv (parse, print)
+
+(* Live client-side state for one tenant stream. *)
+type client_tenant = {
+  spec : client_tenant_spec;
+  stream : int;
+  open_payload : Proto.open_payload;
+  oc : out_channel;
+  mutable src : Source.t option;
+  mutable written : int;  (** decision lines already in [oc] *)
+  mutable acked : int;  (** requests the server has confirmed *)
+  mutable finished : bool;
+}
+
+let client_result_json (ct : client_tenant) (c : Proto.closed_payload) =
+  Printf.sprintf
+    "{\"type\":\"result\",\"alg\":\"%s\",\"requests\":%d,\"comm\":%d,\
+     \"mig\":%d,\"total\":%d,\"max_load\":%d,\"violations\":%d}"
+    ct.spec.ct_alg c.Proto.closed_pos c.Proto.closed_comm c.Proto.closed_mig
+    (c.Proto.closed_comm + c.Proto.closed_mig)
+    c.Proto.closed_max_load c.Proto.closed_violations
+
+let skip_requests src count =
+  let chunk = Array.make (Stdlib.min 8192 (Stdlib.max 1 count)) 0 in
+  let at = ref 0 in
+  while !at < count do
+    let want = Stdlib.min (Array.length chunk) (count - !at) in
+    let got = Source.next_batch src chunk ~limit:want in
+    if got = 0 then
+      failwith
+        (Printf.sprintf
+           "client: trace ends at request %d but the server resumes at %d"
+           !at count);
+    at := !at + got
+  done
+
+(* (Re)position a tenant at the server's resume position: re-open the
+   trace source and discard the prefix the server has already served.
+   Decisions below [written] were already emitted in a previous attempt
+   and are skipped on arrival — the engine is deterministic, so the
+   replayed lines would be byte-identical anyway (latencies aside). *)
+let position_tenant ct ~resume_pos =
+  (match ct.src with Some s -> Source.close s | None -> ());
+  let src =
+    open_source ~trace:ct.spec.ct_trace ~format:`Auto ~mmap:`Auto
+      ~n:ct.spec.ct_n
+  in
+  if resume_pos > 0 then skip_requests src resume_pos;
+  ct.src <- Some src;
+  ct.acked <- resume_pos
+
+let client_open_all cl tenants =
+  List.iter
+    (fun ct ->
+      if not ct.finished then begin
+        let pos = Net.open_stream cl ~stream:ct.stream ct.open_payload in
+        position_tenant ct ~resume_pos:pos
+      end)
+    tenants
+
+let rec client_connect_with_retry ~addr ~attempts =
+  match Net.connect addr with
+  | cl -> cl
+  | exception Net.Disconnected msg when attempts > 1 ->
+      Unix.sleepf 0.1;
+      Logs.debug (fun k -> k "client: reconnecting (%s)" msg);
+      client_connect_with_retry ~addr ~attempts:(attempts - 1)
+
+(* One round for one tenant: pull a batch from its trace, send it, and
+   emit any decision lines not already written.  Returns [true] while
+   the tenant has more requests. *)
+let client_round cl ct ~batch ~quiet ~buf =
+  match ct.src with
+  | None -> false
+  | Some src ->
+      let want = Stdlib.min batch (Array.length buf) in
+      let got = Source.next_batch src buf ~limit:want in
+      if got = 0 then begin
+        let closed = Net.close_stream cl ~stream:ct.stream in
+        output_string ct.oc (client_result_json ct closed);
+        output_char ct.oc '\n';
+        flush ct.oc;
+        Source.close src;
+        ct.src <- None;
+        ct.finished <- true;
+        false
+      end
+      else begin
+        (if quiet then begin
+           let ack = Net.request_quiet cl ~stream:ct.stream buf ~pos:0 ~len:got in
+           ct.acked <- ack.Proto.pos
+         end
+         else begin
+           let ds = Net.request cl ~stream:ct.stream buf ~pos:0 ~len:got in
+           Array.iter
+             (fun (d : Engine.decision) ->
+               if d.Engine.step >= ct.written then begin
+                 output_string ct.oc (Engine.decision_to_json d);
+                 output_char ct.oc '\n';
+                 ct.written <- ct.written + 1
+               end)
+             ds;
+           ct.acked <- ct.acked + got
+         end);
+        true
+      end
+
+let run_client ~connect ~tenant_specs ~batch ~quiet ~reconnect ~do_shutdown =
+  let addr = Net.parse_addr connect in
+  let tenants =
+    List.mapi
+      (fun i spec ->
+        {
+          spec;
+          stream = i + 1;
+          open_payload =
+            {
+              Proto.tenant = spec.ct_id;
+              alg = spec.ct_alg;
+              n = spec.ct_n;
+              ell = spec.ct_ell;
+              epsilon = spec.ct_epsilon;
+              seed = spec.ct_seed;
+            };
+          oc =
+            (match spec.ct_out with
+            | Some path -> open_out path
+            | None -> stdout);
+          src = None;
+          written = 0;
+          acked = 0;
+          finished = false;
+        })
+      tenant_specs
+  in
+  let buf = Array.make (Stdlib.max 1 batch) 0 in
+  let cl = ref (client_connect_with_retry ~addr ~attempts:20) in
+  client_open_all !cl tenants;
+  let unfinished () = List.exists (fun ct -> not ct.finished) tenants in
+  (* Round-robin across tenants, one batch per turn, so concurrent
+     tenants genuinely interleave on the one connection. *)
+  let reconnects = ref 0 in
+  let max_reconnects = 32 in
+  let recover msg =
+    if (not reconnect) || !reconnects >= max_reconnects then
+      failwith (Printf.sprintf "client: connection lost (%s)" msg)
+    else begin
+      incr reconnects;
+      Logs.warn (fun k ->
+          k "client: %s; reconnect %d/%d" msg !reconnects max_reconnects);
+      Net.close !cl;
+      Unix.sleepf (Stdlib.min (0.02 *. (2. ** float_of_int !reconnects)) 0.5);
+      cl := client_connect_with_retry ~addr ~attempts:20;
+      client_open_all !cl tenants
+    end
+  in
+  while unfinished () do
+    match
+      List.iter
+        (fun ct ->
+          if not ct.finished then ignore (client_round !cl ct ~batch ~quiet ~buf))
+        tenants
+    with
+    | () -> ()
+    | exception Net.Disconnected msg -> recover msg
+    | exception Net.Server_error (code, msg)
+      when code = Proto.err_tenant_failed && reconnect ->
+        (* Supervised server killed the tenant's engine (injected crash):
+           the stream must be re-opened; the server answers with the
+           checkpointed position to resume from. *)
+        recover (Printf.sprintf "tenant failed: %s" msg)
+  done;
+  if do_shutdown then begin
+    match Net.shutdown_server !cl with
+    | () -> ()
+    | exception Net.Disconnected _ -> ()
+  end
+  else Net.close !cl;
+  List.iter
+    (fun ct ->
+      match ct.spec.ct_out with Some _ -> close_out ct.oc | None -> flush ct.oc)
+    tenants
+
+let client_cmd =
+  let connect_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Server address (unix:PATH or tcp:HOST:PORT).")
+  in
+  let tenant_arg =
+    Arg.(
+      value & opt_all tenant_spec_conv []
+      & info [ "tenant" ] ~docv:"SPEC"
+          ~doc:
+            "One tenant to serve (repeatable): comma-separated key=value \
+             pairs id=, trace= (required) and alg=, n=, ell=, epsilon=, \
+             seed=, out= (optional).  Requests are read from the trace \
+             file, served over the connection, and decision/result JSONL \
+             is written to out= (default stdout) — byte-compatible with \
+             pipe-mode $(b,rbgp serve) output.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Requests per frame (one in-flight frame per tenant).")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet" ]
+          ~doc:
+            "Quiet ingest: servers ack whole batches with aggregate \
+             totals instead of per-request decisions (the --no-decisions \
+             of the wire).")
+  in
+  let reconnect_arg =
+    Arg.(
+      value & flag
+      & info [ "reconnect" ]
+          ~doc:
+            "On connection loss or a supervised tenant failure, reconnect \
+             with bounded backoff, re-open every stream and resume from \
+             the server's checkpointed position (duplicate decisions are \
+             suppressed client-side).")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:
+            "After all tenants finish (or immediately with no --tenant), \
+             ask the server to drain gracefully and stop.")
+  in
+  let run connect tenant_specs batch quiet reconnect shutdown verbose =
+    setup_logs verbose;
+    run_client ~connect ~tenant_specs ~batch ~quiet ~reconnect
+      ~do_shutdown:shutdown
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Drive a networked rbgp server: open one stream per tenant over \
+          a single connection, replay trace files through it, write the \
+          decision/result JSONL locally, and optionally reconnect-resume \
+          across server crashes.")
+    Term.(
+      const run $ connect_arg $ tenant_arg $ batch_arg $ quiet_arg
+      $ reconnect_arg $ shutdown_arg $ verbose_arg)
+
 let serve_cmd =
   let alg_arg =
     Arg.(
@@ -576,10 +983,15 @@ let serve_cmd =
   let run alg n ell epsilon seed trace format mmap accounting no_decisions
       metrics_every checkpoint_path checkpoint_every checkpoint_keep
       stop_after batch domains faults solver_budget budget_cooloff supervise
-      verbose =
+      listen http checkpoint_dir verbose =
     setup_logs verbose;
     Rbgp_util.Pool.set_domains domains;
     configure_faults faults;
+    match listen with
+    | Some listen ->
+        net_serve ~listen ~http ~checkpoint_dir ~checkpoint_every
+          ~checkpoint_keep ~accounting ~supervise
+    | None ->
     let inst = Rbgp_ring.Instance.blocks ~n ~ell in
     if supervise then
       supervised_serve ~alg ~accounting ~epsilon ~seed ~inst ~trace ~format
@@ -611,7 +1023,7 @@ let serve_cmd =
       $ metrics_every_arg $ checkpoint_path_arg $ checkpoint_every_arg
       $ checkpoint_keep_arg $ stop_after_arg $ batch_arg $ domains_arg
       $ faults_arg $ solver_budget_arg $ budget_cooloff_arg $ supervise_arg
-      $ verbose_arg)
+      $ listen_arg $ http_arg $ checkpoint_dir_arg $ verbose_arg)
 
 let resume_cmd =
   let from_arg =
@@ -810,7 +1222,7 @@ let main =
        ~doc:
          "Online balanced graph partitioning for ring demands (SPAA 2023 \
           reproduction).")
-    [ exp_cmd; sim_cmd; serve_cmd; resume_cmd; checkpoint_cmd; trace_cmd;
-      lint_cmd ]
+    [ exp_cmd; sim_cmd; serve_cmd; client_cmd; resume_cmd; checkpoint_cmd;
+      trace_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval main)

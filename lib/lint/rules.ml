@@ -507,6 +507,88 @@ let durability_findings ~path ~scope (str : Parsetree.structure) =
   it.Ast_iterator.structure it str;
   !acc
 
+(* --- R10: net safety --------------------------------------------------- *)
+
+(* The socket transport's contract (net.mli): every raw socket syscall
+   lives inside the audited [Sockio] submodule, whose wrappers retry
+   EINTR, surface would-block explicitly, treat reset/broken-pipe as
+   peer departure, and route reads through the fault layer so the crash
+   matrix reaches the networked path.  A bare [Unix.read] elsewhere in
+   lib/serve silently loses all four properties — the kind of drift a
+   review won't catch once the module is large.  The second half flags
+   unbounded channel-read idioms ([input_line], [really_input], ...):
+   net-facing code must bound every read by a caller-supplied buffer or
+   an explicit limit, never by what the peer chooses to send. *)
+let socket_syscall = function
+  | [ "Unix";
+      (( "read" | "write" | "single_write" | "accept" | "connect" | "select"
+       | "recv" | "send" | "recvfrom" | "sendto" ) as f) ] ->
+      Some f
+  | _ -> None
+
+let unbounded_read_message = function
+  | [ (("input_line" | "really_input" | "really_input_string") as f) ]
+  | [ "In_channel"; (("input_all" | "input_line") as f) ] ->
+      Some
+        (Printf.sprintf
+           "unbounded channel read (%s) in a net-audited module; bound \
+            every read by a caller-supplied buffer or explicit limit — \
+            the peer must not control allocation"
+           f)
+  | _ -> None
+
+let is_net_audited path =
+  match scope_of_path (Finding.normalize_path path) with
+  | { area = `Lib; sublib = Some "serve" } -> true
+  | _ -> false
+
+let net_findings ~path (str : Parsetree.structure) =
+  let acc = ref [] in
+  let add ~loc message =
+    acc :=
+      Finding.of_location ~rule:"r10-net-safety" ~severity:Finding.Error
+        ~file:path loc message
+      :: !acc
+  in
+  (* Exempt code lexically inside [module Sockio = struct ... end] — the
+     one place raw syscalls are supposed to live. *)
+  let in_sockio = ref false in
+  let expr (self : Ast_iterator.iterator) (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_ident { txt; loc } -> (
+        let p = ident_path txt in
+        (match socket_syscall p with
+        | Some f when not !in_sockio ->
+            add ~loc
+              (Printf.sprintf
+                 "raw socket syscall (Unix.%s) outside the audited Sockio \
+                  wrappers; it would skip EINTR retry, would-block \
+                  handling, peer-reset mapping and the fault layer's \
+                  read hooks — call Sockio.%s or justify via allowlist"
+                 f f)
+        | _ -> ());
+        match unbounded_read_message p with
+        | Some msg -> add ~loc msg
+        | None -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.Ast_iterator.expr self e
+  in
+  let module_binding (self : Ast_iterator.iterator)
+      (mb : Parsetree.module_binding) =
+    let is_sockio =
+      match mb.Parsetree.pmb_name.Location.txt with
+      | Some "Sockio" -> true
+      | _ -> false
+    in
+    let saved = !in_sockio in
+    if is_sockio then in_sockio := true;
+    Ast_iterator.default_iterator.Ast_iterator.module_binding self mb;
+    in_sockio := saved
+  in
+  let it = { Ast_iterator.default_iterator with expr; module_binding } in
+  it.Ast_iterator.structure it str;
+  !acc
+
 (* --- entry points ----------------------------------------------------- *)
 
 let check_structure ~path (str : Parsetree.structure) =
@@ -519,7 +601,8 @@ let check_structure ~path (str : Parsetree.structure) =
       durability_findings ~path ~scope str
     else []
   in
-  exprs @ globals @ hot_io @ durability
+  let net = if is_net_audited path then net_findings ~path str else [] in
+  exprs @ globals @ hot_io @ durability @ net
 
 (* Interfaces carry no expressions, so only parse errors (reported by the
    engine) apply today; kept as a hook for future signature rules. *)
@@ -582,5 +665,11 @@ let descriptions =
        goes through Durable.atomic_write; and no catch-all handlers \
        around Fault/Durable call sites in lib/, which would swallow \
        Injected_crash and blind the crash matrix" );
+    ( "r10-net-safety",
+      "no raw socket syscalls (Unix.read / write / accept / connect / \
+       select / send / recv ...) in lib/serve outside the audited Sockio \
+       wrappers — which retry EINTR, surface would-block, map peer resets \
+       and route reads through the fault layer — and no unbounded channel \
+       reads (input_line / really_input) in net-audited modules" );
     ("parse-error", "file must parse with the OCaml 5.1 grammar");
   ]

@@ -123,6 +123,15 @@ val degraded_spans : t -> int array
 val pos : t -> int
 (** Requests served so far (including any checkpointed prefix). *)
 
+val alg_name : t -> string
+val epsilon : t -> float
+val seed : t -> int
+
+val instance : t -> Rbgp_ring.Instance.t
+(** The run's identity parameters, as passed to {!create} (or recovered
+    by {!resume}) — the tenant router matches these against re-[OPEN]
+    configurations so one stream id can never silently switch runs. *)
+
 val result : t -> Rbgp_ring.Simulator.result
 (** Cumulative totals, identical to what a batch {!Rbgp_ring.Simulator.run}
     over the same request sequence reports. *)

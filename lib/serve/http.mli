@@ -1,0 +1,36 @@
+(** The HTTP observability surface: a deliberately tiny HTTP/1.0
+    responder for scrapes, built as pure functions over received bytes so
+    the whole module unit-tests without a socket (the select loop in
+    {!Net} owns all I/O).
+
+    Endpoints:
+    - [GET /metrics] — Prometheus text exposition
+      ({!Metrics.prometheus_exposition}) of every tenant's counters and
+      latency histogram (labels [tenant], [alg]), plus per-tenant
+      checkpoint-age/position/liveness gauges.
+    - [GET /healthz] — [200 ok] while serving, [503 draining] during
+      drain.
+    - [GET /tenants] — JSON array of tenant status records, each
+      embedding the same {!Metrics.json_of_snapshot} record the JSONL
+      stream carries — the exposition and the JSONL surface render one
+      snapshot API and can never structurally disagree.
+
+    Requests are bounded by {!max_request_bytes}; anything larger is
+    answered [431] and the connection closed, so a hostile peer cannot
+    grow the buffer without limit. *)
+
+val max_request_bytes : int
+
+val request_complete : string -> bool
+(** Have we buffered a full request head (terminated by a blank line)?
+    GET requests carry no body, so the head is the whole request. *)
+
+val handle : router:Tenant.t -> draining:bool -> string -> string
+(** [handle ~router ~draining request] parses the request head and
+    returns the complete response bytes (status line, headers,
+    [Connection: close], body).  Never raises: malformed requests get
+    [400], non-GET [405], unknown paths [404]. *)
+
+val response : status:int -> content_type:string -> string -> string
+(** Render one HTTP/1.0 response (exposed for tests and for the 431
+    overflow reply). *)

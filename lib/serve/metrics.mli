@@ -62,10 +62,43 @@ val quantile : t -> float -> int
 
 val mean_latency_ns : t -> float
 
+type snapshot
+(** A frozen, immutable copy of every counter and the full histogram,
+    taken atomically with respect to the single-threaded serving loop.
+    All rendered surfaces ({!json_of_snapshot}, {!summary_of_snapshot},
+    {!prometheus_exposition}) are produced from snapshots, so the JSONL
+    record, the SIGUSR1 dump and the HTTP exposition can never disagree
+    about a moving counter. *)
+
+val snapshot : t -> snapshot
+
+val snapshot_requests : snapshot -> int
+val snapshot_rps : snapshot -> float
+val snapshot_quantile : snapshot -> float -> int
+(** Same bucket-resolution semantics as {!quantile}. *)
+
+val json_of_snapshot : snapshot -> string
+(** Same one-line JSON object as {!to_json}, rendered from the frozen
+    counters. *)
+
+val summary_of_snapshot : snapshot -> string
+(** Same human-readable paragraph as {!summary}. *)
+
+val prometheus_exposition :
+  ?namespace:string -> ((string * string) list * snapshot) list -> string
+(** Prometheus text exposition (format 0.0.4) for a set of labeled
+    snapshots — one series per (labels, snapshot) pair, e.g. one per
+    tenant with [["tenant", id]].  Emits counters for requests and
+    comm/mig/degraded/recovered, gauges for max load and uptime, and the
+    ingest-latency histogram with power-of-two bucket bounds rendered in
+    seconds (only non-empty buckets are listed, plus the mandatory
+    [+Inf]).  [namespace] (default ["rbgp"]) prefixes every metric
+    name.  Label values are escaped per the exposition spec. *)
+
 val to_json : t -> string
 (** One-line JSON object (type tag ["metrics"]): requests, rps, p50/p90/p99
     latency ns, mean latency, cumulative comm/mig, max load, elapsed
-    seconds. *)
+    seconds.  Equivalent to [json_of_snapshot (snapshot t)]. *)
 
 val summary : t -> string
 (** Human-readable one-paragraph rendering of the same numbers. *)

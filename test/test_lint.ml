@@ -219,6 +219,36 @@ let test_r9 () =
     "r9-durability" ~path:"lib/offline/fake.ml"
     "let f g = try g () with _ -> ()"
 
+(* --- R10: net safety --------------------------------------------------- *)
+
+let test_r10 () =
+  check_flags "Unix.read outside Sockio flagged" "r10-net-safety"
+    ~path:"lib/serve/fake.ml" "let f fd b = Unix.read fd b 0 16";
+  check_flags "Unix.accept outside Sockio flagged" "r10-net-safety"
+    ~path:"lib/serve/fake.ml" "let f fd = Unix.accept fd";
+  check_flags "Unix.select outside Sockio flagged" "r10-net-safety"
+    ~path:"lib/serve/fake.ml" "let f r = Unix.select r [] [] 0.1";
+  check_flags "syscall in a non-Sockio submodule flagged" "r10-net-safety"
+    ~path:"lib/serve/fake.ml"
+    "module Io = struct let f fd b = Unix.write fd b 0 4 end";
+  check_flags "input_line in a net-audited module flagged" "r10-net-safety"
+    ~path:"lib/serve/fake.ml" "let f ic = input_line ic";
+  check_flags "really_input_string in lib/serve flagged" "r10-net-safety"
+    ~path:"lib/serve/fake.ml" "let f ic n = really_input_string ic n";
+  check_clean "Unix.read inside Sockio is clean" "r10-net-safety"
+    ~path:"lib/serve/fake.ml"
+    "module Sockio = struct let f fd b = Unix.read fd b 0 16 end";
+  check_clean "wrapper call sites are clean" "r10-net-safety"
+    ~path:"lib/serve/fake.ml"
+    "module Sockio = struct let read fd b = Unix.read fd b 0 16 end\n\
+     let f fd b = Sockio.read fd b";
+  check_clean "Unix.read outside lib/serve is clean" "r10-net-safety"
+    ~path:"lib/util/fake.ml" "let f fd b = Unix.read fd b 0 16";
+  check_clean "Unix.read in bin/ is clean" "r10-net-safety" ~path:"bin/fake.ml"
+    "let f fd b = Unix.read fd b 0 16";
+  check_clean "non-syscall Unix setup calls are clean" "r10-net-safety"
+    ~path:"lib/serve/fake.ml" "let f fd = Unix.set_nonblock fd"
+
 (* --- parse errors ------------------------------------------------------ *)
 
 let test_parse_error () =
@@ -395,6 +425,7 @@ let () =
           Alcotest.test_case "r7 domain safety" `Quick test_r7;
           Alcotest.test_case "r8 hot-IO hygiene" `Quick test_r8;
           Alcotest.test_case "r9 durability hygiene" `Quick test_r9;
+          Alcotest.test_case "r10 net safety" `Quick test_r10;
           Alcotest.test_case "parse errors are findings" `Quick
             test_parse_error;
         ] );
