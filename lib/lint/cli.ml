@@ -60,7 +60,54 @@ let write_baseline_arg =
         ~doc:"Record the current findings as a baseline and exit 0.")
 
 let rules_arg =
-  Arg.(value & flag & info [ "rules" ] ~doc:"List the rule set and exit.")
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rules" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated rule ids to run (e.g. $(b,r11-hot-alloc,r13-\\
+           comparator-coverage)); other rules are skipped and their \
+           allowlist entries are not reported stale.  parse-error always \
+           runs.")
+
+let list_rules_arg =
+  Arg.(
+    value & flag & info [ "list-rules" ] ~doc:"List the rule set and exit.")
+
+let explain_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "explain" ] ~docv:"RULE"
+        ~doc:"Print the long-form rationale for RULE and exit.")
+
+let graph_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "graph-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the call-graph/effect dump (schema rbgp-lint-graph/1) to \
+           FILE — the debugging view behind r11/r12.")
+
+let sarif_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sarif-out" ] ~docv:"FILE"
+        ~doc:
+          "Also write a SARIF 2.1.0 report to FILE (the CI code-scanning \
+           artifact; suppressed findings carry their allowlist \
+           justification).")
+
+let hot_root_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "hot-root" ] ~docv:"MOD.NAME"
+        ~doc:
+          "Add a hot root for r11 by display name (repeatable), on top of \
+           the built-in set (Engine.ingest*, Dynamic_alg.serve_batch, \
+           Binc.decode_varints*, Pool.map ~family submitters).")
 
 let today_arg =
   let date =
@@ -82,8 +129,48 @@ let today_arg =
 
 let print_rules () =
   List.iter
-    (fun (id, desc) -> Printf.printf "%-18s %s\n" id desc)
+    (fun (id, desc) -> Printf.printf "%-24s %s\n" id desc)
     Rules.descriptions
+
+(* A selector is either a full rule id (r11-hot-alloc) or its bare
+   numeric prefix (r11); the prefix form only matches up to the next
+   '-' so r1 never selects r11. *)
+let resolve_rule sel =
+  if List.mem_assoc sel Rules.descriptions then Some sel
+  else
+    List.find_map
+      (fun (id, _) ->
+        let lp = String.length sel in
+        if
+          String.length id > lp
+          && String.equal (String.sub id 0 lp) sel
+          && Char.equal id.[lp] '-'
+        then Some id
+        else None)
+      Rules.descriptions
+
+let parse_rules_filter = function
+  | None -> Ok None
+  | Some spec -> (
+      let sels =
+        String.split_on_char ',' spec
+        |> List.map String.trim
+        |> List.filter (fun s -> not (String.equal s ""))
+      in
+      let resolved = List.map (fun s -> (s, resolve_rule s)) sels in
+      let bad =
+        List.filter_map
+          (fun (s, r) -> match r with None -> Some s | Some _ -> None)
+          resolved
+      in
+      match (sels, bad) with
+      | [], _ -> Error "--rules: empty rule list"
+      | _, [] ->
+          Ok (Some (List.filter_map (fun (_, r) -> r) resolved))
+      | _, bad ->
+          Error
+            (Printf.sprintf "--rules: unknown rule id(s) %s (see --list-rules)"
+               (String.concat ", " bad)))
 
 let ( let* ) r f = match r with Ok v -> f v | Error msg -> Error msg
 
@@ -118,10 +205,12 @@ let write_file path contents =
       Out_channel.output_string oc contents;
       Out_channel.output_char oc '\n')
 
-let lint ~today ~dirs ~allowlist ~baseline ~json ~json_out ~write_baseline =
+let lint ~today ~dirs ~allowlist ~baseline ~rules ~hot_roots ~json ~json_out
+    ~sarif_out ~graph_out ~write_baseline =
+  let extra_hot_roots = hot_roots in
   match write_baseline with
   | Some path ->
-      let outcome = Engine.run ~today ~allowlist ~dirs () in
+      let outcome = Engine.run ~today ~allowlist ?rules ~extra_hot_roots ~dirs () in
       write_file path
         (Ljson.to_string (Engine.baseline_to_json outcome.Engine.live));
       Printf.printf "wrote baseline of %d findings to %s\n"
@@ -129,39 +218,64 @@ let lint ~today ~dirs ~allowlist ~baseline ~json ~json_out ~write_baseline =
         path;
       0
   | None ->
-      let outcome = Engine.run ~today ~allowlist ?baseline ~dirs () in
+      let outcome =
+        Engine.run ~today ~allowlist ?baseline ?rules ~extra_hot_roots ~dirs ()
+      in
       Option.iter
         (fun path -> write_file path (Reporter.to_json_string outcome))
         json_out;
+      Option.iter
+        (fun path -> write_file path (Sarif.to_string outcome))
+        sarif_out;
+      Option.iter
+        (fun path ->
+          write_file path
+            (Ljson.to_string (Engine.graph ~extra_hot_roots ~dirs ())))
+        graph_out;
       if json then print_endline (Reporter.to_json_string outcome)
       else print_string (Reporter.to_text outcome);
       if Engine.errors outcome > 0 then 1 else 0
 
-let run ~today dirs allowlist_path no_allowlist json json_out baseline_path
-    write_baseline rules today_override =
-  if rules then begin
+let run ~today dirs allowlist_path no_allowlist json json_out sarif_out
+    graph_out baseline_path write_baseline rules_spec list_rules explain
+    hot_roots today_override =
+  if list_rules then begin
     print_rules ();
     0
   end
   else
-    let today = match today_override with Some d -> d | None -> today in
-    let config =
-      let* allowlist = load_allowlist ~no_allowlist ~allowlist_path in
-      let* baseline = load_baseline baseline_path in
-      Ok (allowlist, baseline)
-    in
-    match config with
-    | Error msg ->
-        prerr_endline ("rbgp-lint: " ^ msg);
-        2
-    | Ok (allowlist, baseline) ->
-        lint ~today ~dirs ~allowlist ~baseline ~json ~json_out ~write_baseline
+    match explain with
+    | Some rule -> (
+        match Rules.explain rule with
+        | Some text ->
+            print_endline text;
+            0
+        | None ->
+            prerr_endline
+              ("rbgp-lint: unknown rule " ^ rule ^ " (see --list-rules)");
+            2)
+    | None -> (
+        let today = match today_override with Some d -> d | None -> today in
+        let config =
+          let* allowlist = load_allowlist ~no_allowlist ~allowlist_path in
+          let* baseline = load_baseline baseline_path in
+          let* rules = parse_rules_filter rules_spec in
+          Ok (allowlist, baseline, rules)
+        in
+        match config with
+        | Error msg ->
+            prerr_endline ("rbgp-lint: " ^ msg);
+            2
+        | Ok (allowlist, baseline, rules) ->
+            lint ~today ~dirs ~allowlist ~baseline ~rules ~hot_roots ~json
+              ~json_out ~sarif_out ~graph_out ~write_baseline)
 
 let term ~today =
   Term.(
     const (run ~today)
     $ dirs_arg $ allowlist_arg $ no_allowlist_arg $ json_arg $ json_out_arg
-    $ baseline_arg $ write_baseline_arg $ rules_arg $ today_arg)
+    $ sarif_out_arg $ graph_out_arg $ baseline_arg $ write_baseline_arg
+    $ rules_arg $ list_rules_arg $ explain_arg $ hot_root_arg $ today_arg)
 
 let doc =
   "Repo-specific static analysis: determinism, domain-safety and hot-path \

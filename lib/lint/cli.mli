@@ -11,6 +11,11 @@ val default_allowlist : string
 (** ["lint/allowlist.txt"], used when it exists and no [--allowlist] was
     given. *)
 
+val parse_rules_filter : string option -> (string list option, string) result
+(** Parses a [--rules] spec: comma-separated full rule ids
+    ([r11-hot-alloc]) or bare numeric prefixes ([r11]), resolved against
+    {!Rules.descriptions}; [None] means all rules.  Exposed for tests. *)
+
 val term : today:(int * int * int) -> int Cmdliner.Term.t
 
 val doc : string

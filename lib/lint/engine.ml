@@ -65,7 +65,9 @@ let scan_dirs dirs =
   List.iter
     (fun dir -> if Sys.file_exists dir then walk dir)
     dirs;
-  List.sort String.compare (List.rev !acc)
+  (* sort_uniq: overlapping dirs ("lib lib/serve") must not double-count
+     files — duplicates would double findings and corrupt the baseline *)
+  List.sort_uniq String.compare !acc
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
@@ -74,6 +76,43 @@ let lint_paths paths =
     List.concat_map (fun p -> lint_source ~path:p (read_file p)) paths
   in
   List.sort Finding.compare (Rules.missing_mli ~files:paths @ per_file)
+
+(* --- interprocedural pass ---------------------------------------------- *)
+
+(* The test file set for r13 lives beside the scanned dirs: for each
+   scanned dir, its sibling "test" directory (so "lib" from the repo root
+   finds "./test", and "../lib" from a test sandbox finds "../test").
+   When none exists, r13 has no coverage evidence and stays silent. *)
+let test_dirs_of dirs =
+  List.sort_uniq String.compare
+    (List.filter_map
+       (fun dir ->
+         let td = Filename.concat (Filename.dirname dir) "test" in
+         if Sys.file_exists td && Sys.is_directory td then Some td else None)
+       dirs)
+
+let index_of_paths paths =
+  Index.of_sources (List.map (fun p -> (p, read_file p)) paths)
+
+let effects_of_paths ?extra_hot_roots paths =
+  Effects.infer ?extra_hot_roots (index_of_paths paths)
+
+let interprocedural_findings ?extra_hot_roots ~dirs paths =
+  let index = index_of_paths paths in
+  let effects = Effects.infer ?extra_hot_roots index in
+  let r11 = Rules.hot_alloc effects in
+  let r12 = Rules.transitive_partial effects in
+  let r13 =
+    match test_dirs_of dirs with
+    | [] -> []
+    | test_dirs ->
+        let tests = index_of_paths (scan_dirs test_dirs) in
+        Rules.comparator_coverage ~index ~tests
+  in
+  List.sort Finding.compare (r11 @ r12 @ r13)
+
+let graph ?extra_hot_roots ~dirs () =
+  Effects.to_json (effects_of_paths ?extra_hot_roots (scan_dirs dirs))
 
 (* --- baseline ---------------------------------------------------------- *)
 
@@ -175,9 +214,30 @@ let errors outcome =
          | Finding.Warning -> false)
        outcome.live)
 
-let run ?today ?(allowlist = []) ?baseline ~dirs () =
+let run ?today ?(allowlist = []) ?baseline ?rules ?extra_hot_roots ~dirs () =
   let paths = scan_dirs dirs in
-  let findings = lint_paths paths in
+  let findings =
+    List.sort Finding.compare
+      (lint_paths paths
+      @ interprocedural_findings ?extra_hot_roots ~dirs paths)
+  in
+  (* --rules filter: selected rules plus parse-error, which is always
+     live (an unparseable file silently exempts itself from every rule).
+     The allowlist narrows with it so un-selected rules' entries are not
+     reported stale. *)
+  let findings, allowlist =
+    match rules with
+    | None -> (findings, allowlist)
+    | Some selected ->
+        ( List.filter
+            (fun (f : Finding.t) ->
+              String.equal f.Finding.rule "parse-error"
+              || List.mem f.Finding.rule selected)
+            findings,
+          List.filter
+            (fun (e : Allowlist.entry) -> List.mem e.Allowlist.rule selected)
+            allowlist )
+  in
   let applied = Allowlist.apply ?today allowlist findings in
   let live, baseline_skipped =
     match baseline with

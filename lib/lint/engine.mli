@@ -12,12 +12,32 @@ val lint_source : path:string -> string -> Finding.t list
     single [parse-error] finding.  Sorted by location. *)
 
 val scan_dirs : string list -> string list
-(** All [.ml]/[.mli] files under the given directories, sorted; skips
-    [_build], [_opam] and dot-directories.  Missing directories are
-    ignored. *)
+(** All [.ml]/[.mli] files under the given directories, sorted and
+    deduplicated (overlapping directories such as ["lib lib/serve"] count
+    each file once); skips [_build], [_opam] and dot-directories.
+    Missing directories are ignored. *)
 
 val lint_paths : string list -> Finding.t list
-(** [lint_source] over each file plus the file-set rule (R6). *)
+(** [lint_source] over each file plus the file-set rule (R6).  Per-file
+    rules only — the interprocedural pass (r11–r13) runs in {!run}. *)
+
+val test_dirs_of : string list -> string list
+(** The sibling ["test"] directories of the scanned dirs that exist on
+    disk — r13's coverage evidence.  Empty means r13 stays silent. *)
+
+val interprocedural_findings :
+  ?extra_hot_roots:string list ->
+  dirs:string list ->
+  string list ->
+  Finding.t list
+(** The r11/r12/r13 pass: index the given files, infer effects, and
+    cross-check comparator coverage against {!test_dirs_of}[ dirs].
+    Sorted. *)
+
+val graph :
+  ?extra_hot_roots:string list -> dirs:string list -> unit -> Ljson.t
+(** The call-graph/effect dump ([--graph-out]): schema
+    ["rbgp-lint-graph/1"], a pure function of the sources on disk. *)
 
 type baseline
 (** A (rule, file) -> count ratchet: robust to line churn, monotone —
@@ -47,6 +67,13 @@ val run :
   ?today:(int * int * int) ->
   ?allowlist:Allowlist.t ->
   ?baseline:baseline ->
+  ?rules:string list ->
+  ?extra_hot_roots:string list ->
   dirs:string list ->
   unit ->
   outcome
+(** [rules] restricts the run to the named rule ids ([parse-error] stays
+    live regardless — an unparseable file must not exempt itself); the
+    allowlist narrows with it so entries for unselected rules are not
+    reported stale.  [extra_hot_roots] adds display names ("Mod.name")
+    to r11's built-in hot-root set. *)

@@ -627,6 +627,118 @@ let missing_mli ~files =
       else None)
     files
 
+(* --- interprocedural rules (r11–r13) ---------------------------------- *)
+
+(* r11-hot-alloc: every direct allocation site inside a function
+   transitively reachable from a hot root.  Findings land on the
+   allocation site itself (not the path), so allowlist entries can scope
+   to file:line and the justification reads next to the code. *)
+let hot_alloc (effects : Effects.t) =
+  List.concat_map
+    (fun id ->
+      match Effects.hot_reach effects id with
+      | None -> []
+      | Some root -> (
+          match Effects.info effects id with
+          | None -> []
+          | Some info ->
+              let n = info.Effects.node in
+              List.filter_map
+                (fun (d : Effects.direct) ->
+                  if d.Effects.d_eff.Effects.alloc then
+                    Some
+                      (Finding.make ~rule:"r11-hot-alloc"
+                         ~severity:Finding.Error ~file:n.Index.file
+                         ~line:d.Effects.d_line ~col:d.Effects.d_col
+                         (Printf.sprintf
+                            "%s allocates (%s) and is reachable from hot \
+                             root %s — the audited hot paths must stay \
+                             allocation-free per call; hoist the \
+                             allocation, reuse a scratch buffer, or \
+                             justify the amortization via allowlist"
+                            n.Index.display d.Effects.d_what root))
+                  else None)
+                info.Effects.direct))
+    (Effects.node_ids effects)
+
+(* r12-transitive-partial: unhandled partiality idioms reachable from the
+   serve/net request path.  The reachability already refuses to cross
+   handled call edges, and handled sites are skipped here — a [try] or
+   [match ... with exception] on the path is the named handler the rule
+   asks for. *)
+let transitive_partial (effects : Effects.t) =
+  List.concat_map
+    (fun id ->
+      match Effects.serve_reach effects id with
+      | None -> []
+      | Some root -> (
+          match Effects.info effects id with
+          | None -> []
+          | Some info ->
+              let n = info.Effects.node in
+              List.filter_map
+                (fun (d : Effects.direct) ->
+                  if d.Effects.d_eff.Effects.partial && not d.Effects.d_handled
+                  then
+                    Some
+                      (Finding.make ~rule:"r12-transitive-partial"
+                         ~severity:Finding.Error ~file:n.Index.file
+                         ~line:d.Effects.d_line ~col:d.Effects.d_col
+                         (Printf.sprintf
+                            "%s can raise from %s and is reachable from \
+                             serve root %s with no intervening handler — \
+                             a request must fail as a mapped error frame, \
+                             not an escaped Not_found/Failure; handle the \
+                             exception, use the total variant, or justify \
+                             via allowlist"
+                            n.Index.display d.Effects.d_what root))
+                  else None)
+                info.Effects.direct))
+    (Effects.node_ids effects)
+
+(* r13-comparator-coverage: every comparator-shaped value exposed by a
+   lib interface must be referenced from the test file set.  Names that
+   collide with stdlib ([compare]/[equal]/[hash] bare) only count as
+   covered under a qualified reference; distinctive names ([equal_foo],
+   [compare_severity]) also accept a bare reference (local open). *)
+let is_comparator_name name =
+  let seg = function "compare" | "equal" | "hash" -> true | _ -> false in
+  seg name || List.exists seg (String.split_on_char '_' name)
+
+let comparator_coverage ~(index : Index.t) ~(tests : Index.t) =
+  let refs = Index.references tests in
+  let referenced modname name =
+    let stdlib_collision =
+      match name with "compare" | "equal" | "hash" -> true | _ -> false
+    in
+    List.exists
+      (fun (m, v) ->
+        String.equal v name
+        &&
+        match m with
+        | Some m -> String.equal m modname
+        | None -> not stdlib_collision)
+      refs
+  in
+  List.filter_map
+    (fun (e : Index.exposed) ->
+      if
+        is_comparator_name e.Index.e_name
+        && is_lib (scope_of_path e.Index.e_file)
+        && not (referenced e.Index.e_modname e.Index.e_name)
+      then
+        Some
+          (Finding.make ~rule:"r13-comparator-coverage" ~severity:Finding.Error
+             ~file:e.Index.e_file ~line:e.Index.e_line ~col:e.Index.e_col
+             (Printf.sprintf
+                "comparator %s.%s is exposed but never referenced from the \
+                 test suite — the paper's guarantees ride on exact \
+                 comparators, so every exposed compare/equal/hash needs \
+                 qcheck or unit coverage (or a written justification)"
+                e.Index.e_modname e.Index.e_name))
+      else None)
+    (Index.exposed index)
+
 let descriptions =
   [
     ( "r1-poly-compare",
@@ -671,5 +783,77 @@ let descriptions =
        wrappers — which retry EINTR, surface would-block, map peer resets \
        and route reads through the fault layer — and no unbounded channel \
        reads (input_line / really_input) in net-audited modules" );
+    ( "r11-hot-alloc",
+      "no heap allocation (closures, tuples, records, list conses, \
+       Array.append / @ / ^ / sprintf ...) in functions transitively \
+       reachable from the audited hot roots — Engine.ingest*, \
+       Dynamic_alg.serve_batch, the Binc block decoders and every \
+       Pool.map ~family submitter — outside justified allowlist entries" );
+    ( "r12-transitive-partial",
+      "no unnamed partiality (List.hd / Option.get / Hashtbl.find / \
+       int_of_string ...) reachable from the serve/net request path \
+       without an intervening exception handler — requests fail as \
+       mapped error frames, never as escaped Not_found" );
+    ( "r13-comparator-coverage",
+      "every comparator/equal/hash value exposed in a lib/**.mli is \
+       referenced from test/ — exactness of comparators is what the \
+       competitive guarantees ride on, so coverage is a ratchet" );
     ("parse-error", "file must parse with the OCaml 5.1 grammar");
   ]
+
+(* --- --explain texts --------------------------------------------------- *)
+
+let explain rule =
+  let find k = List.assoc_opt k descriptions in
+  let extended =
+    match rule with
+    | "r11-hot-alloc" ->
+        Some
+          "Interprocedural: the linter indexes every value definition in \
+           the scanned tree (lib/lint/index.ml), resolves call heads \
+           across modules, and runs a fixpoint (lib/lint/effects.ml) \
+           marking each function that allocates per call — closures, \
+           tuples, records, array/list literals, cons cells, and \
+           allocating stdlib such as @, ^, Array.append, List.map and \
+           Printf.sprintf.  Findings are the direct allocation sites \
+           inside any function transitively reachable from a hot root: \
+           Engine.ingest*, Dynamic_alg.serve_batch, Binc.decode_varints*, \
+           every body that submits Pool.map ~family jobs, plus any \
+           --hot-root extras.  First-class dispatch through record fields \
+           (the Online interface) is invisible to the index, which is why \
+           the solver-side serve_batch is a root in its own right.  \
+           Amortized allocations (per-batch scratch, startup-only paths) \
+           belong in lint/allowlist.txt with a written justification; \
+           per-element allocations in steady state are bugs."
+    | "r12-transitive-partial" ->
+        Some
+          "Interprocedural: using the same call graph as r11, the serve \
+           roots — Engine.ingest*, Net.handle_*, Net.dispatch_frames, \
+           Tenant.serve* — are traversed without crossing call edges that \
+           sit under a try or a match-with-exception case: a handler on \
+           the path is exactly the interposition the rule asks for.  Any \
+           reachable unhandled partiality idiom (List.hd, List.tl, \
+           Option.get, Hashtbl.find, Stack.pop, Queue.pop, int_of_string, \
+           String.index, ...) is reported at its site.  Deliberate \
+           failwith/invalid_arg with a written invariant message are not \
+           counted — the rule patrols *unnamed* partiality, the kind that \
+           escapes as Not_found and tears down a connection without a \
+           mapped error frame."
+    | "r13-comparator-coverage" ->
+        Some
+          "Cross-checked against the test file set: every value whose \
+           name is compare/equal/hash or carries one of those as a \
+           _-separated segment, exposed in a lib interface, must be \
+           referenced somewhere under test/.  Bare-stdlib-colliding names \
+           (compare, equal, hash exactly) only count as covered under a \
+           qualified reference (M.compare); distinctive names also accept \
+           a bare reference under a local open.  The ROADMAP's \
+           million-scale push names this ratchet explicitly: the \
+           competitive-ratio harness trusts comparator exactness, so an \
+           untested comparator is an unverified invariant."
+    | _ -> None
+  in
+  match (find rule, extended) with
+  | None, _ -> None
+  | Some d, None -> Some d
+  | Some d, Some e -> Some (d ^ "\n\n" ^ e)

@@ -29,7 +29,18 @@
       sites in lib/, which would swallow [Injected_crash] and blind the
       crash-recovery tests.  Founding exceptions (the atomic-write
       helper, the deliberate tear path, the regenerable trace writers)
-      are allowlisted with their justifications. *)
+      are allowlisted with their justifications.
+    - [r10-net-safety] — raw [Unix.read]/[Unix.write] and unbounded
+      [really_input] outside the audited [Sockio] wrappers in the
+      networked serving modules.
+    - [r11-hot-alloc] — interprocedural: allocation sites transitively
+      reachable from the audited hot roots (Engine.ingest*,
+      Dynamic_alg.serve_batch, Binc.decode_varints, and every
+      [Pool.map ~family] submitter), via the [Effects] fixpoint.
+    - [r12-transitive-partial] — interprocedural: partiality reachable
+      from the serve/net request path with no intervening handler.
+    - [r13-comparator-coverage] — comparator-shaped values exposed from
+      lib interfaces but never referenced by the test suite. *)
 
 type scope = { area : [ `Lib | `Bin | `Bench | `Other ]; sublib : string option }
 
@@ -54,5 +65,26 @@ val missing_mli : files:string list -> Finding.t list
 (** R6 over a file set: one finding per [lib/**/*.ml] whose [.mli] is not
     in the set.  Pure — testable on synthetic lists. *)
 
+val hot_alloc : Effects.t -> Finding.t list
+(** R11 over the inferred effect graph: one finding per direct
+    allocation site inside any function transitively reachable from a
+    hot root. *)
+
+val transitive_partial : Effects.t -> Finding.t list
+(** R12: unhandled partiality sites reachable from the serve/net roots
+    without crossing an exception handler. *)
+
+val comparator_coverage : index:Index.t -> tests:Index.t -> Finding.t list
+(** R13: comparator-shaped values ([compare]/[equal]/[hash] exact or as
+    a [_]-separated segment) exposed in lib interfaces of [index] but
+    never referenced by [tests]. *)
+
+val is_comparator_name : string -> bool
+
 val descriptions : (string * string) list
-(** [(rule id, one-line description)] for [--rules] and the reporters. *)
+(** [(rule id, one-line description)] for [--list-rules] and the
+    reporters. *)
+
+val explain : string -> string option
+(** Long-form text for [--explain RULE]: the one-line description, plus
+    an extended rationale for the interprocedural rules. *)

@@ -1,0 +1,184 @@
+(* SARIF 2.1.0 rendering of a lint outcome, for CI code-scanning upload.
+
+   One run, one driver ("rbgp-lint"), rules from [Rules.descriptions].
+   Live findings become results at their own level; allowlist-suppressed
+   findings are emitted too, carrying a [suppressions] entry whose
+   justification is the allowlist's written one — so the PR annotation
+   view shows *why* a site is accepted, not just that it is.
+
+   Column convention: Finding.col is 0-based (compiler convention),
+   SARIF's startColumn is 1-based.  Whole-file findings (line = 0) omit
+   the region.  [findings_of_json] inverts the un-suppressed results for
+   the qcheck round-trip. *)
+
+let schema_uri =
+  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+let level_of_severity = function
+  | Finding.Error -> "error"
+  | Finding.Warning -> "warning"
+
+let severity_of_level = function
+  | "error" -> Some Finding.Error
+  | "warning" -> Some Finding.Warning
+  | _ -> None
+
+let rule_descriptor (id, desc) =
+  Ljson.Obj
+    [
+      ("id", Ljson.Str id);
+      ("shortDescription", Ljson.Obj [ ("text", Ljson.Str desc) ]);
+    ]
+
+let location (f : Finding.t) =
+  let physical =
+    ("artifactLocation", Ljson.Obj [ ("uri", Ljson.Str f.Finding.file) ])
+  in
+  let fields =
+    if f.Finding.line = 0 then [ physical ]
+    else
+      [
+        physical;
+        ( "region",
+          Ljson.Obj
+            [
+              ("startLine", Ljson.Num (float_of_int f.Finding.line));
+              ("startColumn", Ljson.Num (float_of_int (f.Finding.col + 1)));
+            ] );
+      ]
+  in
+  Ljson.Obj [ ("physicalLocation", Ljson.Obj fields) ]
+
+let result ?suppression (f : Finding.t) =
+  let base =
+    [
+      ("ruleId", Ljson.Str f.Finding.rule);
+      ("level", Ljson.Str (level_of_severity f.Finding.severity));
+      ("message", Ljson.Obj [ ("text", Ljson.Str f.Finding.message) ]);
+      ("locations", Ljson.Arr [ location f ]);
+    ]
+  in
+  let fields =
+    match suppression with
+    | None -> base
+    | Some (e : Allowlist.entry) ->
+        base
+        @ [
+            ( "suppressions",
+              Ljson.Arr
+                [
+                  Ljson.Obj
+                    [
+                      ("kind", Ljson.Str "external");
+                      ( "justification",
+                        Ljson.Str e.Allowlist.justification );
+                    ];
+                ] );
+          ]
+  in
+  Ljson.Obj fields
+
+let to_json (o : Engine.outcome) =
+  let results =
+    List.map (fun f -> result f) o.Engine.live
+    @ List.map
+        (fun (f, e) -> result ~suppression:e f)
+        o.Engine.suppressed
+  in
+  Ljson.Obj
+    [
+      ("version", Ljson.Str "2.1.0");
+      ("$schema", Ljson.Str schema_uri);
+      ( "runs",
+        Ljson.Arr
+          [
+            Ljson.Obj
+              [
+                ( "tool",
+                  Ljson.Obj
+                    [
+                      ( "driver",
+                        Ljson.Obj
+                          [
+                            ("name", Ljson.Str "rbgp-lint");
+                            ("informationUri", Ljson.Str "DESIGN.md");
+                            ( "rules",
+                              Ljson.Arr
+                                (List.map rule_descriptor Rules.descriptions)
+                            );
+                          ] );
+                    ] );
+                ("results", Ljson.Arr results);
+              ];
+          ] );
+    ]
+
+let to_string o = Ljson.to_string (to_json o)
+
+(* --- parse-back (round-trip tests, CI sanity) -------------------------- *)
+
+let ( let* ) r f = Result.bind r f
+
+let req what = function Some v -> Ok v | None -> Error ("sarif: missing " ^ what)
+
+let finding_of_result j =
+  let* rule = req "ruleId" Option.(Ljson.member "ruleId" j |> fold ~none:None ~some:Ljson.to_str) in
+  let* level = req "level" Option.(Ljson.member "level" j |> fold ~none:None ~some:Ljson.to_str) in
+  let* severity = req "level value" (severity_of_level level) in
+  let* message =
+    req "message.text"
+      Option.(
+        Ljson.member "message" j
+        |> fold ~none:None ~some:(Ljson.member "text")
+        |> fold ~none:None ~some:Ljson.to_str)
+  in
+  let* loc =
+    req "locations[0]"
+      (match Ljson.member "locations" j with
+      | Some (Ljson.Arr (l :: _)) -> Some l
+      | _ -> None)
+  in
+  let* phys = req "physicalLocation" (Ljson.member "physicalLocation" loc) in
+  let* file =
+    req "artifactLocation.uri"
+      Option.(
+        Ljson.member "artifactLocation" phys
+        |> fold ~none:None ~some:(Ljson.member "uri")
+        |> fold ~none:None ~some:Ljson.to_str)
+  in
+  let line, col =
+    match Ljson.member "region" phys with
+    | Some region ->
+        let get k =
+          Option.(Ljson.member k region |> fold ~none:None ~some:Ljson.to_int)
+        in
+        ( Option.value ~default:0 (get "startLine"),
+          Option.value ~default:1 (get "startColumn") - 1 )
+    | None -> (0, 0)
+  in
+  Ok (Finding.make ~rule ~severity ~file ~line ~col message)
+
+let is_suppressed j =
+  match Ljson.member "suppressions" j with
+  | Some (Ljson.Arr (_ :: _)) -> true
+  | _ -> false
+
+let findings_of_json j =
+  let* results =
+    req "runs[0].results"
+      (match Ljson.member "runs" j with
+      | Some (Ljson.Arr (run :: _)) -> (
+          match Ljson.member "results" run with
+          | Some (Ljson.Arr rs) -> Some rs
+          | _ -> None)
+      | _ -> None)
+  in
+  List.fold_left
+    (fun acc r ->
+      let* acc = acc in
+      if is_suppressed r then Ok acc
+      else
+        let* f = finding_of_result r in
+        Ok (f :: acc))
+    (Ok []) results
+  |> Result.map List.rev

@@ -1,0 +1,15 @@
+(** SARIF 2.1.0 rendering of a lint outcome — the CI code-scanning
+    artifact.
+
+    Live findings become results at their severity's level; suppressed
+    findings are emitted with a [suppressions] entry carrying the
+    allowlist's written justification.  Whole-file findings (line 0)
+    omit the region; columns convert between the 0-based compiler
+    convention and SARIF's 1-based [startColumn]. *)
+
+val to_json : Engine.outcome -> Ljson.t
+val to_string : Engine.outcome -> string
+
+val findings_of_json : Ljson.t -> (Finding.t list, string) result
+(** The un-suppressed results of [runs\[0\]], as findings — inverse of
+    {!to_json} on the live set (round-trip tested). *)

@@ -18,14 +18,16 @@ let name t = t.name
 let metric t = t.metric
 let state t = t.state
 
+(* top-level so [serve] (r11-patrolled via the solver path) passes a
+   static function to [Array.iter], not a per-call closure *)
+let check_cost_entry c =
+  if c < 0.0 || Float.is_nan c then
+    invalid_arg "Mts.serve: cost entries must be non-negative"
+
 let serve t cost_vector =
   if Array.length cost_vector <> Metric.size t.metric then
     invalid_arg "Mts.serve: cost vector size mismatch";
-  Array.iter
-    (fun c ->
-      if c < 0.0 || Float.is_nan c then
-        invalid_arg "Mts.serve: cost entries must be non-negative")
-    cost_vector;
+  Array.iter check_cost_entry cost_vector;
   let s' = t.next cost_vector t.state in
   Metric.check_state t.metric s';
   t.move <- t.move +. float_of_int (Metric.distance t.metric t.state s');

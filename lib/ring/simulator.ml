@@ -148,7 +148,11 @@ let stepper ?(strict = true) ?(accounting = `Auto) ?cost ?max_load ?violations
     capacity_ok;
   }
 
-let step_with st e serve_now =
+(* [serve_now st x] performs the algorithm action for this step; [x] is
+   caller-chosen (the edge for the per-request paths, the batch index for
+   the prepared path) so the actions can be top-level or per-batch values
+   and no per-request closure is allocated (r11 patrols this path). *)
+let step_with st e serve_now x =
   let alg = st.alg in
   if e < 0 || e >= st.inst.Instance.n then
     invalid_arg "Simulator.step: edge out of range";
@@ -157,7 +161,7 @@ let step_with st e serve_now =
   let current = alg.Online.assignment () in
   let comm = if Assignment.cuts_edge current e then 1 else 0 in
   st.s_cost.Cost.comm <- st.s_cost.Cost.comm + comm;
-  serve_now ();
+  serve_now st x;
   let moved = st.account current in
   st.s_cost.Cost.mig <- st.s_cost.Cost.mig + moved;
   if not (st.capacity_ok current) then begin
@@ -174,7 +178,9 @@ let step_with st e serve_now =
   st.s_steps <- st.s_steps + 1;
   (comm, moved)
 
-let step st e = step_with st e (fun () -> st.alg.Online.serve e)
+let serve_action st e = st.alg.Online.serve e
+let frozen_action (_ : stepper) (_ : int) = ()
+let step st e = step_with st e serve_action e
 
 (* A degraded "never-move" accounting step: the request is billed exactly
    as if a never-move algorithm had served it (communication charged when
@@ -183,7 +189,7 @@ let step st e = step_with st e (fun () -> st.alg.Online.serve e)
    bypassed without losing cost accounting.  The serving engine records
    which positions were served this way so a checkpoint replay reproduces
    the identical call sequence. *)
-let step_frozen st e = step_with st e (fun () -> ())
+let step_frozen st e = step_with st e frozen_action e
 
 (* Batched stepping: pre-solve the algorithm's decisions for the whole
    batch (in parallel, when the algorithm provides [Online.batch]), then
@@ -201,12 +207,14 @@ let prepare st edges =
     | Some b when Array.length edges > 1 -> b edges
     | _ -> fun j -> st.alg.Online.serve edges.(j)
   in
+  (* one action per batch, indexed by j — not one closure per request *)
+  let apply_action _st j = apply j in
   let next = ref 0 in
   fun j ->
     if j <> !next then
       invalid_arg "Simulator.prepare: requests must be played in order";
     incr next;
-    step_with st edges.(j) (fun () -> apply j)
+    step_with st edges.(j) apply_action j
 
 let stepper_result st =
   {

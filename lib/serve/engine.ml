@@ -140,8 +140,11 @@ let push_prefix t e =
 (* One request's bookkeeping around [play] (the accounting step):
    identical for the per-request and batched paths, so every decision
    field except the wall-clock [latency_ns] is byte-identical between
-   them. *)
-let ingest_step t e play =
+   them.  [play] takes the stepper and a caller-chosen argument ([e] for
+   the per-request paths, the batch index for the prepared path) so the
+   per-request callers pass [Simulator.step]/[step_frozen] directly and
+   allocate no thunk (r11 patrols this path). *)
+let ingest_step t e play x =
   let t0 = now_ns () in
   let prev =
     if t.sanitize then begin
@@ -151,7 +154,7 @@ let ingest_step t e play =
     end
     else None
   in
-  let comm, moved = play () in
+  let comm, moved = play t.stepper x in
   push_prefix t e;
   t.pos <- t.pos + 1;
   let r = Simulator.stepper_result t.stepper in
@@ -229,12 +232,12 @@ let check_budget t ~latency_ns ~step =
 let ingest t e =
   if Fault.armed () then Fault.crash_check ~step:t.pos;
   if t.degraded_left > 0 then begin
-    let d = ingest_step t e (fun () -> Simulator.step_frozen t.stepper e) in
+    let d = ingest_step t e Simulator.step_frozen e in
     note_frozen t;
     d
   end
   else begin
-    let d = ingest_step t e (fun () -> Simulator.step t.stepper e) in
+    let d = ingest_step t e Simulator.step e in
     check_budget t ~latency_ns:d.latency_ns ~step:d.step;
     d
   end
@@ -252,7 +255,9 @@ let ingest_batch t edges =
   end
   else begin
     let play = Simulator.prepare t.stepper edges in
-    let ds = Array.mapi (fun j e -> ingest_step t e (fun () -> play j)) edges in
+    (* one play wrapper per batch, indexed by j — not one thunk per request *)
+    let play_step _stepper j = play j in
+    let ds = Array.mapi (fun j e -> ingest_step t e play_step j) edges in
     (* degradation triggers are evaluated at batch boundaries — a prepared
        batch's [play j] must run for every j in order, so the switch to the
        frozen path applies from the next batch on *)
@@ -427,10 +432,10 @@ let resume ?(strict = true) ?(accounting = `Auto) ?sanitize
         let spans = ckpt.Checkpoint.degraded in
         let nspans = Array.length spans / 2 in
         let si = ref 0 in
-        let cur_edge = ref 0 and cur_frozen = ref false in
-        let play () =
-          if !cur_frozen then Simulator.step_frozen t.stepper !cur_edge
-          else Simulator.step t.stepper !cur_edge
+        let cur_frozen = ref false in
+        let play stepper edge =
+          if !cur_frozen then Simulator.step_frozen stepper edge
+          else Simulator.step stepper edge
         in
         for i = 0 to m - 1 do
           while
@@ -439,8 +444,8 @@ let resume ?(strict = true) ?(accounting = `Auto) ?sanitize
             incr si
           done;
           cur_frozen := !si < nspans && spans.(2 * !si) <= i;
-          cur_edge := ckpt.Checkpoint.prefix.(i);
-          ignore (ingest_step t !cur_edge play)
+          let e = ckpt.Checkpoint.prefix.(i) in
+          ignore (ingest_step t e play e)
         done
       end;
       verify_against ckpt t ~how:"prefix replay";

@@ -36,15 +36,15 @@ let reset t =
   t.degraded <- 0;
   t.recovered <- 0
 
-let bucket_of ns =
-  if ns <= 1 then 0
-  else
-    let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
-    min (nbuckets - 1) (go 0 ns)
+(* top-level so [observe] (per-request, r11-patrolled) allocates no
+   closure for the loop *)
+let rec bucket_loop i v = if v <= 1 then i else bucket_loop (i + 1) (v lsr 1)
+let bucket_of ns = if ns <= 1 then 0 else min (nbuckets - 1) (bucket_loop 0 ns)
 
 let observe t ~latency_ns ~comm ~moved ~max_load =
   let latency_ns = max 0 latency_ns in
-  t.buckets.(bucket_of latency_ns) <- t.buckets.(bucket_of latency_ns) + 1;
+  let b = bucket_of latency_ns in
+  t.buckets.(b) <- t.buckets.(b) + 1;
   t.requests <- t.requests + 1;
   t.comm <- t.comm + comm;
   t.mig <- t.mig + moved;

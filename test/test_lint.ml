@@ -12,6 +12,9 @@ module Engine = Rbgp_lint.Engine
 module Allowlist = Rbgp_lint.Allowlist
 module Reporter = Rbgp_lint.Reporter
 module Ljson = Rbgp_lint.Ljson
+module Index = Rbgp_lint.Index
+module Effects = Rbgp_lint.Effects
+module Sarif = Rbgp_lint.Sarif
 
 let rules_of ~path src =
   List.map (fun f -> f.Finding.rule) (Engine.lint_source ~path src)
@@ -377,6 +380,193 @@ let test_json_roundtrip () =
                 true (Finding.equal a b))
             live parsed)
 
+(* --- interprocedural rules (r11–r13) ----------------------------------- *)
+
+let effects_of sources = Effects.infer (Index.of_sources sources)
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
+
+let rules_of_findings fs = List.map (fun f -> f.Finding.rule) fs
+
+let has_rule rule fs = List.mem rule (rules_of_findings fs)
+
+(* R11: an allocation two calls away from a hot root is visible; the same
+   allocation in an unreachable module is not. *)
+let test_r11 () =
+  let flagged =
+    Rules.hot_alloc
+      (effects_of
+         [
+           ("lib/serve/engine.ml", "let ingest t e = Helper.build t e\n");
+           ("lib/serve/helper.ml", "let build t e = (t, e)\n");
+         ])
+  in
+  Alcotest.(check bool)
+    "tuple in a callee of Engine.ingest flags" true
+    (has_rule "r11-hot-alloc" flagged);
+  Alcotest.(check bool)
+    "finding lands on the allocation site, not the root" true
+    (List.exists
+       (fun f -> String.equal f.Finding.file "lib/serve/helper.ml")
+       flagged);
+  let clean =
+    Rules.hot_alloc
+      (effects_of
+         [
+           ("lib/serve/engine.ml", "let ingest t e = Helper.build t e\n");
+           ("lib/serve/helper.ml", "let build t e = t + e\n");
+           (* allocates, but nothing hot reaches it *)
+           ("lib/serve/cold.ml", "let report x = [ x ]\n");
+         ])
+  in
+  Alcotest.(check int) "non-allocating callee is clean" 0 (List.length clean);
+  (* a Pool.map ~family submitter is a hot root in its own right *)
+  let pool =
+    Rules.hot_alloc
+      (effects_of
+         [
+           ( "lib/core/solver.ml",
+             "let shard work arr = ignore (Pool.map ~family:\"s\" work arr); [ arr ]\n"
+           );
+         ])
+  in
+  Alcotest.(check bool)
+    "Pool.map ~family submitter is a hot root" true
+    (has_rule "r11-hot-alloc" pool);
+  (* top-level constants run at module init, not per call *)
+  let const =
+    Rules.hot_alloc
+      (effects_of
+         [
+           ("lib/serve/engine.ml", "let ingest t e = ignore Helper.table; t + e\n");
+           ("lib/serve/helper.ml", "let table = Hashtbl.create 8\n");
+         ])
+  in
+  Alcotest.(check int) "constant initializer is not a per-call alloc" 0
+    (List.length const)
+
+(* R12: unhandled partiality reachable from the serve path flags; a
+   handler on the path masks it. *)
+let test_r12 () =
+  let flagged =
+    Rules.transitive_partial
+      (effects_of
+         [
+           ( "lib/serve/net.ml",
+             "let pick l = List.hd l\nlet handle_req conn = pick conn\n" );
+         ])
+  in
+  Alcotest.(check bool)
+    "List.hd behind handle_req flags" true
+    (has_rule "r12-transitive-partial" flagged);
+  let handled =
+    Rules.transitive_partial
+      (effects_of
+         [
+           ( "lib/serve/net.ml",
+             "let pick l = List.hd l\n\
+              let handle_req conn = try pick conn with Failure _ -> 0\n" );
+         ])
+  in
+  Alcotest.(check int) "a try on the path is the named handler" 0
+    (List.length handled);
+  let unreachable =
+    Rules.transitive_partial
+      (effects_of
+         [ ("lib/serve/util2.ml", "let pick l = List.hd l\n") ])
+  in
+  Alcotest.(check int) "partiality off the serve path is r3's business" 0
+    (List.length unreachable)
+
+(* R13: an exposed comparator with no test reference flags; a qualified
+   test reference covers it; a bare stdlib-colliding name does not. *)
+let test_r13 () =
+  let index =
+    Index.of_sources
+      [
+        ( "lib/ring/seg.mli",
+          "val compare : int -> int -> int\nval equal_arc : int -> int -> bool\n"
+        );
+      ]
+  in
+  let tests ml = Index.of_sources [ ("test/test_seg.ml", ml) ] in
+  let flagged =
+    Rules.comparator_coverage ~index
+      ~tests:(tests "let () = ignore (Seg.compare 1 2)\n")
+  in
+  Alcotest.(check (list string))
+    "uncovered equal_arc flags, covered compare does not"
+    [ "r13-comparator-coverage" ]
+    (rules_of_findings flagged);
+  Alcotest.(check bool)
+    "the finding names equal_arc" true
+    (List.exists
+       (fun f -> contains_sub ~sub:"equal_arc" f.Finding.message)
+       flagged);
+  let bare =
+    Rules.comparator_coverage ~index
+      ~tests:(tests "let () = ignore (compare 1 2); ignore (Seg.equal_arc 1 2)\n")
+  in
+  Alcotest.(check (list string))
+    "bare stdlib-colliding compare does not cover Seg.compare"
+    [ "r13-comparator-coverage" ]
+    (rules_of_findings bare)
+
+(* The effect lattice itself: fixpoint across modules, handler masking,
+   and the two comparators the coverage rule patrols. *)
+let test_effect_lattice () =
+  let fx =
+    effects_of
+      [
+        ( "lib/core/alpha.ml",
+          "let base l = List.hd l\n\
+           let mid l = base l\n\
+           let top l = try mid l with Failure _ -> 0\n\
+           let mk x = (x, x)\n\
+           let wrap x = mk x\n" );
+      ]
+  in
+  let eff name = Effects.effect_of fx ("lib/core/alpha.ml#" ^ name) in
+  Alcotest.(check bool) "base is partial" true (eff "base").Effects.partial;
+  Alcotest.(check bool) "mid inherits partial" true (eff "mid").Effects.partial;
+  Alcotest.(check bool) "top's handler masks partial" false
+    (eff "top").Effects.partial;
+  Alcotest.(check bool) "mk allocates" true (eff "mk").Effects.alloc;
+  Alcotest.(check bool) "wrap inherits alloc" true (eff "wrap").Effects.alloc;
+  Alcotest.(check bool) "eff_union is monotone" true
+    (Effects.eff_union (eff "mid") (eff "mk")).Effects.alloc;
+  (* the exposed comparators r13 patrols, exercised directly *)
+  Alcotest.(check bool) "eff_equal bot=bot" true
+    (Effects.eff_equal Effects.eff_bot Effects.eff_bot);
+  Alcotest.(check bool) "eff_equal distinguishes alloc" false
+    (Effects.eff_equal Effects.eff_bot (eff "mk"));
+  Alcotest.(check bool) "compare_severity: errors sort first" true
+    (Finding.compare_severity Finding.Error Finding.Warning < 0);
+  Alcotest.(check int) "compare_severity: reflexive" 0
+    (Finding.compare_severity Finding.Warning Finding.Warning)
+
+(* --explain has long-form text for the interprocedural rules and rejects
+   unknown ids. *)
+let test_explain () =
+  List.iter
+    (fun r ->
+      match Rules.explain r with
+      | Some text ->
+          Alcotest.(check bool)
+            (r ^ " explanation is substantial") true
+            (String.length text > 200)
+      | None -> Alcotest.failf "no --explain text for %s" r)
+    [ "r11-hot-alloc"; "r12-transitive-partial"; "r13-comparator-coverage" ];
+  Alcotest.(check bool) "every described rule explains" true
+    (List.for_all
+       (fun (id, _) -> Option.is_some (Rules.explain id))
+       Rules.descriptions);
+  Alcotest.(check bool) "unknown rule is None" true
+    (Option.is_none (Rules.explain "r99-bogus"))
+
 (* --- self-lint ---------------------------------------------------------- *)
 
 (* The repository's own sources must be clean under the checked-in
@@ -411,6 +601,203 @@ let test_self_lint () =
   Alcotest.(check int) "no stale allowlist entries" 0
     (List.length outcome.Engine.stale)
 
+(* --- SARIF + qcheck round-trips ---------------------------------------- *)
+
+let outcome_of_live live =
+  {
+    Engine.files = 1;
+    live;
+    suppressed = [];
+    expired = [];
+    stale = [];
+    baseline_skipped = 0;
+  }
+
+let finding_gen =
+  let open QCheck2.Gen in
+  let rule = oneofl [ "r1-poly-compare"; "r11-hot-alloc"; "r12-transitive-partial"; "r13-comparator-coverage" ] in
+  let file = oneofl [ "lib/mts/mts.ml"; "lib/serve/engine.ml"; "lib/util/pool.mli" ] in
+  let sev = oneofl [ Finding.Error; Finding.Warning ] in
+  (* line >= 1: whole-file findings (line 0) drop the SARIF region and
+     are pinned by a separate deterministic case below *)
+  let* rule = rule and* file = file and* severity = sev in
+  let* line = 1 -- 500 and* col = 0 -- 120 in
+  let* message = string_size ~gen:(char_range 'a' 'z') (5 -- 40) in
+  return (Finding.make ~rule ~severity ~file ~line ~col message)
+
+let sorted fs = List.sort Finding.compare fs
+
+let roundtrip_prop ~name ~render ~parse fs =
+  let live = sorted fs in
+  let s = render (outcome_of_live live) in
+  match Ljson.parse s with
+  | Error e -> QCheck2.Test.fail_reportf "%s emitted unparseable JSON: %s" name e
+  | Ok j -> (
+      match parse j with
+      | Error e -> QCheck2.Test.fail_reportf "%s parse-back: %s" name e
+      | Ok parsed ->
+          let parsed = sorted parsed in
+          List.length parsed = List.length live
+          && List.for_all2 Finding.equal live parsed)
+
+let findings_gen = QCheck2.Gen.(list_size (0 -- 12) finding_gen)
+
+let qcheck_sarif_roundtrip =
+  QCheck2.Test.make ~name:"sarif round-trip" ~count:200 findings_gen
+    (roundtrip_prop ~name:"sarif" ~render:Sarif.to_string
+       ~parse:Sarif.findings_of_json)
+
+let qcheck_json_roundtrip =
+  QCheck2.Test.make ~name:"reporter JSON round-trip" ~count:200 findings_gen
+    (roundtrip_prop ~name:"reporter" ~render:Reporter.to_json_string
+       ~parse:Reporter.findings_of_json)
+
+(* Deterministic SARIF cases the generator avoids: whole-file findings
+   omit the region; suppressed findings carry the justification and are
+   excluded from parse-back. *)
+let test_sarif_shape () =
+  let whole = Finding.make ~rule:"r6-missing-mli" ~severity:Finding.Error
+      ~file:"lib/core/x.ml" ~line:0 ~col:0 "no mli"
+  in
+  let site = Finding.make ~rule:"r11-hot-alloc" ~severity:Finding.Error
+      ~file:"lib/util/pool.ml" ~line:35 ~col:31 "allocates"
+  in
+  let entry =
+    {
+      Allowlist.rule = "r11-hot-alloc";
+      path = "lib/util/pool.ml";
+      line = None;
+      expires = None;
+      justification = "amortized per batch";
+      source_line = 1;
+    }
+  in
+  let outcome =
+    { (outcome_of_live [ whole ]) with Engine.suppressed = [ (site, entry) ] }
+  in
+  let s = Sarif.to_string outcome in
+  let j = match Ljson.parse s with Ok j -> j | Error e -> Alcotest.fail e in
+  Alcotest.(check bool) "schema is 2.1.0" true
+    (match Ljson.member "version" j with
+    | Some (Ljson.Str "2.1.0") -> true
+    | _ -> false);
+  Alcotest.(check bool) "justification is embedded" true
+    (contains_sub ~sub:"amortized per batch" s);
+  match Sarif.findings_of_json j with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+      Alcotest.(check int) "suppressed results drop out of parse-back" 1
+        (List.length parsed);
+      Alcotest.(check bool) "whole-file finding round-trips without region"
+        true
+        (Finding.equal whole (List.hd parsed))
+
+(* --- engine-level behaviors -------------------------------------------- *)
+
+let repo_root () =
+  if Sys.file_exists "../lint/allowlist.txt" then ".."
+  else if Sys.file_exists "lint/allowlist.txt" then "."
+  else Alcotest.fail "cannot locate the repository tree"
+
+(* Overlapping directories must not double-count files (the baseline and
+   finding counts would silently double). *)
+let test_scan_dirs_dedupe () =
+  let root = repo_root () in
+  let under d = Filename.concat root d in
+  let once = Engine.scan_dirs [ under "lib" ] in
+  let overlap = Engine.scan_dirs [ under "lib"; under "lib/serve" ] in
+  Alcotest.(check int) "overlapping dirs scan each file once"
+    (List.length once) (List.length overlap);
+  Alcotest.(check bool) "same file set" true
+    (List.equal String.equal once overlap)
+
+(* Satellite: every founding allowlist entry still matches a real finding
+   — entries that stop matching must be deleted, not accumulate. *)
+let test_founding_entries_live () =
+  let root = repo_root () in
+  let under d = Filename.concat root d in
+  let allowlist =
+    match Allowlist.load ~path:(under "lint/allowlist.txt") with
+    | Ok al -> al
+    | Error e -> Alcotest.failf "allowlist: %s" e
+  in
+  let outcome =
+    Engine.run ~allowlist ~dirs:[ under "lib"; under "bin"; under "bench" ] ()
+  in
+  let used =
+    List.map (fun (_, e) -> Allowlist.entry_id e) outcome.Engine.suppressed
+  in
+  List.iter
+    (fun e ->
+      let id = Allowlist.entry_id e in
+      Alcotest.(check bool)
+        (Printf.sprintf "entry %S suppresses at least one finding" id)
+        true
+        (List.mem id used))
+    allowlist
+
+(* --rules narrows the run to the selected rules (parse-error excepted)
+   and narrows the allowlist with it. *)
+(* The CLI accepts both full rule ids and bare rNN prefixes, and the
+   prefix only matches whole numeric components (r1 must not select
+   r11). *)
+let test_rules_shorthand () =
+  let parse spec =
+    match Rbgp_lint.Cli.parse_rules_filter (Some spec) with
+    | Ok (Some ids) -> ids
+    | Ok None -> Alcotest.fail "spec parsed to no filter"
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check (list string))
+    "r11,r13 resolves to the full ids"
+    [ "r11-hot-alloc"; "r13-comparator-coverage" ]
+    (parse "r11,r13");
+  Alcotest.(check (list string))
+    "r1 selects poly-compare, not r11"
+    [ "r1-poly-compare" ] (parse "r1");
+  Alcotest.(check (list string))
+    "full ids still accepted"
+    [ "r12-transitive-partial" ]
+    (parse "r12-transitive-partial");
+  (match Rbgp_lint.Cli.parse_rules_filter (Some "r99") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown rule accepted");
+  match Rbgp_lint.Cli.parse_rules_filter None with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "absent spec must mean all rules"
+
+let test_rules_filter () =
+  let root = repo_root () in
+  let under d = Filename.concat root d in
+  let outcome =
+    Engine.run
+      ~rules:[ "r11-hot-alloc"; "r13-comparator-coverage" ]
+      ~dirs:[ under "lib"; under "bin"; under "bench" ]
+      ()
+  in
+  Alcotest.(check bool) "filtered run has findings to report" true
+    (List.length outcome.Engine.live > 0);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "finding %s is from a selected rule" f.Finding.rule)
+        true
+        (List.mem f.Finding.rule
+           [ "r11-hot-alloc"; "r13-comparator-coverage"; "parse-error" ]))
+    outcome.Engine.live
+
+(* The effect graph dump is a pure function of the sources: two runs are
+   byte-identical. *)
+let test_graph_determinism () =
+  let root = repo_root () in
+  let dirs = [ Filename.concat root "lib" ] in
+  let a = Ljson.to_string (Engine.graph ~dirs ()) in
+  let b = Ljson.to_string (Engine.graph ~dirs ()) in
+  Alcotest.(check bool) "graph dump is byte-identical across runs" true
+    (String.equal a b);
+  Alcotest.(check bool) "graph dump is non-trivial" true
+    (String.length a > 10_000)
+
 let () =
   Alcotest.run "lint"
     [
@@ -426,6 +813,12 @@ let () =
           Alcotest.test_case "r8 hot-IO hygiene" `Quick test_r8;
           Alcotest.test_case "r9 durability hygiene" `Quick test_r9;
           Alcotest.test_case "r10 net safety" `Quick test_r10;
+          Alcotest.test_case "r11 hot-path allocation" `Quick test_r11;
+          Alcotest.test_case "r12 transitive partiality" `Quick test_r12;
+          Alcotest.test_case "r13 comparator coverage" `Quick test_r13;
+          Alcotest.test_case "effect lattice fixpoint" `Quick
+            test_effect_lattice;
+          Alcotest.test_case "--explain texts" `Quick test_explain;
           Alcotest.test_case "parse errors are findings" `Quick
             test_parse_error;
         ] );
@@ -438,7 +831,26 @@ let () =
           Alcotest.test_case "expiry" `Quick test_allowlist_expiry;
         ] );
       ( "reporter",
-        [ Alcotest.test_case "JSON round-trip" `Quick test_json_roundtrip ] );
+        [
+          Alcotest.test_case "JSON round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "SARIF shape + suppression" `Quick
+            test_sarif_shape;
+          QCheck_alcotest.to_alcotest qcheck_sarif_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_json_roundtrip;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "scan_dirs dedupes overlapping dirs" `Quick
+            test_scan_dirs_dedupe;
+          Alcotest.test_case "founding allowlist entries all live" `Quick
+            test_founding_entries_live;
+          Alcotest.test_case "--rules filters findings and allowlist" `Quick
+            test_rules_filter;
+          Alcotest.test_case "--rules accepts rNN shorthand" `Quick
+            test_rules_shorthand;
+          Alcotest.test_case "graph dump is deterministic" `Quick
+            test_graph_determinism;
+        ] );
       ( "self",
         [ Alcotest.test_case "repository is lint-clean" `Quick test_self_lint ]
       );
